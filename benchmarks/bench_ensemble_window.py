@@ -1,0 +1,67 @@
+"""Ablation — ensemble snapshot-window size (TRMP Stage III design choice).
+
+The ensemble fuses the trailing weekly ALPC snapshots. How many does it
+need? We reuse the weekly study's snapshots and train ensembles with
+windows of 1, 2, and 4 snapshots, scoring each week's accepted relations —
+the variance of that series is the quantity the stage exists to minimise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import weekly_stability
+from repro.trmp import EnsembleConfig, EnsembleLinkPredictor
+
+from bench_common import (
+    _ensemble_relation_acc,
+    format_table,
+    get_weekly_study,
+    save_result,
+)
+
+WINDOWS = [1, 2, 4]
+
+
+def run_window_ablation() -> dict:
+    study = get_weekly_study()
+    runs = study.runs
+    panel = study.context.panel
+
+    results = {}
+    for window in WINDOWS:
+        weekly_acc = []
+        # Evaluate from the first week where the window is full.
+        for week in range(window, len(runs)):
+            snapshots = [r.snapshot_embeddings for r in runs[week - window + 1 : week + 1]]
+            ensemble = EnsembleLinkPredictor(EnsembleConfig(epochs=15, seed=0))
+            ensemble.fit(snapshots, runs[week].split)
+            weekly_acc.append(_ensemble_relation_acc(runs[week], ensemble, panel, week))
+        stability = weekly_stability(weekly_acc)
+        results[window] = {
+            "weekly_acc": weekly_acc,
+            "mean_acc": stability.mean_acc,
+            "variance_pp": stability.variance_pp,
+        }
+    return results
+
+
+def test_ensemble_window_ablation(benchmark):
+    results = benchmark.pedantic(run_window_ablation, rounds=1, iterations=1)
+
+    rows = [
+        [w, f"{m['mean_acc']:.3f}", f"{m['variance_pp']:.2f}", len(m["weekly_acc"])]
+        for w, m in results.items()
+    ]
+    text = format_table(
+        "Ablation — ensemble snapshot window",
+        ["window", "mean ACC", "Var(ACC) pp^2", "#weeks scored"],
+        rows,
+    )
+    save_result("ablation_ensemble_window", results, text)
+
+    # More snapshots -> steadier accuracy (a single snapshot is just ALPC
+    # behind an extra head, so it inherits the weekly fluctuation).
+    assert results[4]["variance_pp"] <= results[1]["variance_pp"] + 0.05
+    for w, m in results.items():
+        assert m["mean_acc"] > 0.7

@@ -1,0 +1,63 @@
+"""Fig. 5(b) — weekly accuracy trend of ALPC, with and without the ensemble.
+
+Paper: ALPC's weekly ACC fluctuates between 95.5% and 97.5% (variance 0.31
+in percentage points squared) because the upstream data sources drift; the
+ensemble stage brings the variance down to 0.08 (Table I last column).
+
+We regenerate the series: the drift process shifts topic popularity each
+week, the pipeline retrains weekly, and the annotator panel scores each
+week's mined relations. The claim to preserve is the *variance reduction*,
+not the absolute band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import weekly_stability
+
+from bench_common import format_table, get_weekly_study, save_result
+
+
+def run_fig5b() -> dict:
+    study = get_weekly_study()
+    # The ensemble needs a full snapshot window before its series is
+    # comparable; variance is computed over the shared trailing weeks.
+    alpc = weekly_stability(study.alpc_weekly_acc[-4:])
+    ensemble = weekly_stability(study.ensemble_weekly_acc[-4:])
+    return {
+        "alpc_weekly_acc": study.alpc_weekly_acc,
+        "ensemble_weekly_acc": study.ensemble_weekly_acc,
+        "alpc_variance_pp": alpc.variance_pp,
+        "ensemble_variance_pp": ensemble.variance_pp,
+        "alpc_band": [alpc.min_acc, alpc.max_acc],
+        "ensemble_band": [ensemble.min_acc, ensemble.max_acc],
+    }
+
+
+def test_fig5b_weekly_stability(benchmark):
+    payload = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+
+    weeks = len(payload["alpc_weekly_acc"])
+    rows = []
+    for w in range(weeks):
+        ens = (
+            f"{payload['ensemble_weekly_acc'][w - 1]:.3f}" if w >= 1 else "-"
+        )  # ensemble starts once two snapshots exist
+        rows.append([f"week {w}", f"{payload['alpc_weekly_acc'][w]:.3f}", ens])
+    text = format_table(
+        "Fig. 5(b) — weekly ACC trend (ALPC alone vs + ensemble)",
+        ["week", "ALPC ACC", "ensemble ACC"],
+        rows,
+    )
+    text += (
+        f"\nVar(ACC) in pp^2 — ALPC: {payload['alpc_variance_pp']:.2f}, "
+        f"ensemble: {payload['ensemble_variance_pp']:.2f} "
+        f"(paper: 0.31 -> 0.08)\n"
+    )
+    save_result("fig5b_weekly_stability", payload, text)
+
+    # Shape assertions: ALPC fluctuates week to week; the ensemble's series
+    # is flatter (variance reduction, the paper's 0.31 -> 0.08).
+    assert payload["alpc_variance_pp"] > 0.0
+    assert payload["ensemble_variance_pp"] < payload["alpc_variance_pp"]

@@ -1,0 +1,87 @@
+"""Substitution check — the transformer+CRF NER vs the BertCRF role.
+
+DESIGN.md substitutes the paper's pre-trained BertCRF with a from-scratch
+transformer+CRF trained on synthetic labelled spans. This benchmark
+quantifies how well that substitute performs the role: entity-extraction
+precision/recall/F1 against gold mentions on held-out events, compared with
+the dictionary-scan fast path the pipeline uses by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text import (
+    EntitySequenceExtractor,
+    NERTagger,
+    Vocab,
+    extract_entities,
+    make_ner_examples,
+    train_ner,
+)
+
+from bench_common import format_table, get_context, save_result
+
+
+def _prf(tp: int, fp: int, fn: int) -> tuple[float, float, float]:
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def run_ner_benchmark() -> dict:
+    context = get_context()
+    events = context.events
+    split_at = int(len(events) * 0.8)
+    train_events, test_events = events[:split_at], events[split_at : split_at + 400]
+
+    examples = make_ner_examples(train_events)
+    vocab = Vocab.build([tokens for tokens, _ in examples])
+    tagger = NERTagger(len(vocab), dim=32, num_layers=1, rng=0)
+    report = train_ner(tagger, vocab, examples[:2500], epochs=3, rng=0)
+
+    entity_dict = context.pipeline.entity_dict
+    dictionary = EntitySequenceExtractor(entity_dict)
+
+    counters = {"ner": [0, 0, 0], "dictionary": [0, 0, 0]}  # tp, fp, fn
+    for event in test_events:
+        gold = {m.entity_id for m in event.mentions}
+        ner_found = {
+            e.entity_id for e in extract_entities(tagger, vocab, event.tokens, entity_dict)
+        }
+        dict_found = set(dictionary.extract_event(event))
+        for key, found in (("ner", ner_found), ("dictionary", dict_found)):
+            counters[key][0] += len(found & gold)
+            counters[key][1] += len(found - gold)
+            counters[key][2] += len(gold - found)
+
+    results = {"token_accuracy": report.token_accuracy}
+    for key, (tp, fp, fn) in counters.items():
+        precision, recall, f1 = _prf(tp, fp, fn)
+        results[key] = {"precision": precision, "recall": recall, "f1": f1}
+    return results
+
+
+def test_ner_substitution_quality(benchmark):
+    results = benchmark.pedantic(run_ner_benchmark, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{m['precision']:.3f}", f"{m['recall']:.3f}", f"{m['f1']:.3f}"]
+        for name, m in results.items()
+        if isinstance(m, dict)
+    ]
+    text = format_table(
+        "NER substitution — entity extraction on held-out events",
+        ["extractor", "precision", "recall", "F1"],
+        rows,
+    )
+    text += f"\ntoken-level tagging accuracy: {results['token_accuracy']:.3f}\n"
+    save_result("ner_extraction", results, text)
+
+    # The trained tagger must be a usable extractor: high precision (Entity
+    # Dict alignment filters spans) and clearly non-trivial recall.
+    assert results["ner"]["precision"] > 0.9
+    assert results["ner"]["recall"] > 0.5
+    # The dictionary oracle is the ceiling on this synthetic corpus.
+    assert results["dictionary"]["f1"] >= results["ner"]["f1"]

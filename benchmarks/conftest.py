@@ -1,0 +1,9 @@
+"""Benchmark-suite fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

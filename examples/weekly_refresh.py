@@ -1,0 +1,64 @@
+"""The production cadence: weekly graph refresh, daily preference refresh.
+
+Reproduces the §II-B Remark: the entity graph is rebuilt weekly from
+drifting data sources (topic popularity moves every week), the ensemble
+fuses the trailing snapshots to keep accuracy steady, and the mined graph
+versions accumulate in the Geabase-style store.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro import EGLSystem, World, WorldConfig
+from repro.datasets import BehaviorConfig, BehaviorLogGenerator
+from repro.eval import AnnotatorPanel, weekly_stability
+
+
+def relation_acc(graph, panel, rng):
+    lo, hi = graph.canonical_pairs()
+    return panel.evaluate_relations(np.stack([lo, hi], 1), sample_size=300, rng=rng).acc
+
+
+def main() -> None:
+    world = World(WorldConfig(num_entities=250, num_users=250, seed=7))
+    generator = BehaviorLogGenerator(
+        world, BehaviorConfig(seed=11, drift_scale=0.5)
+    )
+    store_path = tempfile.mkdtemp(prefix="geabase-")
+    system = EGLSystem(world, store_path=store_path)
+    panel = AnnotatorPanel(world)
+
+    weekly_acc = []
+    for week in range(4):
+        events = generator.generate_week(week)
+        report = system.weekly_refresh(events)
+        acc = relation_acc(system.pipeline.latest_graph(), panel, week)
+        weekly_acc.append(acc)
+        print(
+            f"week {week}: {report.num_relations} relations "
+            f"(graph version {report.graph_version}), ACC {acc:.3f}, "
+            f"ensemble {'re-trained' if report.ensemble_trained else 'pending'}, "
+            f"{report.elapsed_seconds:.0f}s"
+        )
+        # Daily cadence: preferences refresh on the trailing 30 days.
+        covered = system.daily_preference_refresh(events)
+        print(f"         daily preference refresh covered {covered} users")
+
+    stability = weekly_stability(weekly_acc)
+    print(f"\nweekly ACC band: [{stability.min_acc:.3f}, {stability.max_acc:.3f}], "
+          f"variance {stability.variance_pp:.2f} pp^2")
+
+    print(f"\nGeabase-style store at {store_path}:")
+    for version in system.store.versions():
+        print(f"  version {version['version']}  tag {version['tag']}  "
+              f"{version['edges']} edges")
+    graph = system.store.load_version()  # latest
+    print(f"online stage serves version {system.store.latest_version()} "
+          f"({graph.num_edges} relations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so `pip install -e .` works offline (no wheel package available)."""
+
+from setuptools import setup
+
+setup()

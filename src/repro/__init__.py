@@ -1,0 +1,46 @@
+"""repro — a reproduction of the EGL System (ICDE 2023).
+
+"Who Would be Interested in Services? An Entity Graph Learning System for
+User Targeting" (Yang, Hu, Yang et al., Ant Group).
+
+Quick tour
+----------
+>>> from repro import World, WorldConfig, EGLSystem
+>>> from repro.datasets import BehaviorLogGenerator
+>>> world = World(WorldConfig(num_entities=200, num_users=150))
+>>> system = EGLSystem(world)
+>>> generator = BehaviorLogGenerator(world)
+>>> events = generator.generate_week(0)
+>>> report = system.weekly_refresh(events)          # offline: TRMP
+>>> covered = system.daily_preference_refresh(events)
+>>> view, result = system.target_users_for_phrases( # online: cold start
+...     [world.entities[0].name], depth=2, k=20)
+
+Subpackages: :mod:`repro.tensor` (autograd), :mod:`repro.nn` (layers),
+:mod:`repro.text`, :mod:`repro.embeddings`, :mod:`repro.graph`,
+:mod:`repro.gnn`, :mod:`repro.baselines`, :mod:`repro.trmp` (the core),
+:mod:`repro.preference`, :mod:`repro.online`, :mod:`repro.datasets`,
+:mod:`repro.eval`, :mod:`repro.simulation`.
+"""
+
+from repro.datasets.world import World, WorldConfig
+from repro.online.system import EGLSystem
+from repro.trmp.pipeline import TRMPConfig, TRMPipeline
+from repro.trmp.alpc import ALPCConfig, ALPCLinkPredictor
+from repro.graph.entity_graph import EntityGraph
+from repro.graph.storage import GraphStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "EGLSystem",
+    "TRMPConfig",
+    "TRMPipeline",
+    "ALPCConfig",
+    "ALPCLinkPredictor",
+    "EntityGraph",
+    "GraphStore",
+    "__version__",
+]

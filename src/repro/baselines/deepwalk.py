@@ -1,0 +1,40 @@
+"""DeepWalk baseline (Perozzi et al., 2014): uniform walks + Skip-gram."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import EmbeddingLinkPredictor
+from repro.datasets.splits import LinkPredictionSplit
+from repro.embeddings.skipgram import SkipGramConfig, SkipGramModel
+from repro.graph.sampling import random_walks
+
+
+class DeepWalkLinkPredictor(EmbeddingLinkPredictor):
+    """Train SGNS on uniform random walks over the training graph."""
+
+    def __init__(
+        self,
+        num_walks: int = 5,
+        walk_length: int = 12,
+        dim: int = 32,
+        epochs: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name="DeepWalk", embeddings=np.zeros((1, dim)), seed=seed)
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.dim = dim
+        self.sg_epochs = epochs
+
+    def fit(self, split: LinkPredictionSplit, features: np.ndarray | None = None) -> "DeepWalkLinkPredictor":
+        graph = split.train_graph
+        walks = random_walks(
+            graph, self.num_walks, self.walk_length, rng=self.seed, weighted=False
+        )
+        model = SkipGramModel(
+            graph.num_nodes,
+            SkipGramConfig(dim=self.dim, window=4, epochs=self.sg_epochs, seed=self.seed),
+        ).fit(walks, rng=self.seed + 1)
+        self.embeddings = model.normalized_vectors()
+        return super().fit(split)

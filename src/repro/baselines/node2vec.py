@@ -1,0 +1,44 @@
+"""Node2Vec baseline (Grover & Leskovec, 2016): biased walks + Skip-gram."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import EmbeddingLinkPredictor
+from repro.datasets.splits import LinkPredictionSplit
+from repro.embeddings.skipgram import SkipGramConfig, SkipGramModel
+from repro.graph.sampling import node2vec_walks
+
+
+class Node2VecLinkPredictor(EmbeddingLinkPredictor):
+    """Second-order biased walks with return parameter ``p``, in-out ``q``."""
+
+    def __init__(
+        self,
+        num_walks: int = 5,
+        walk_length: int = 12,
+        p: float = 1.0,
+        q: float = 0.5,
+        dim: int = 32,
+        epochs: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name="Node2Vec", embeddings=np.zeros((1, dim)), seed=seed)
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.p = p
+        self.q = q
+        self.dim = dim
+        self.sg_epochs = epochs
+
+    def fit(self, split: LinkPredictionSplit, features: np.ndarray | None = None) -> "Node2VecLinkPredictor":
+        graph = split.train_graph
+        walks = node2vec_walks(
+            graph, self.num_walks, self.walk_length, p=self.p, q=self.q, rng=self.seed
+        )
+        model = SkipGramModel(
+            graph.num_nodes,
+            SkipGramConfig(dim=self.dim, window=4, epochs=self.sg_epochs, seed=self.seed),
+        ).fit(walks, rng=self.seed + 1)
+        self.embeddings = model.normalized_vectors()
+        return super().fit(split)

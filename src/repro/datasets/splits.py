@@ -1,0 +1,90 @@
+"""Link-prediction train/test splits (paper §IV-A.2, Dataset-M protocol).
+
+The paper removes 10% of existing relations as positive test data, samples
+the same number of non-edges as negative test data, trains on the remaining
+90% plus sampled negatives (overall 1 positive : 3 negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.entity_graph import EntityGraph
+from repro.graph.sampling import sample_negative_pairs
+from repro.rng import ensure_rng
+
+
+@dataclass
+class LinkPredictionSplit:
+    """All arrays are ``(n, 2)`` canonical node pairs."""
+
+    train_graph: EntityGraph
+    train_pos: np.ndarray
+    train_neg: np.ndarray
+    test_pos: np.ndarray
+    test_neg: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.train_graph.num_nodes
+
+    def train_pairs_and_labels(self) -> tuple[np.ndarray, np.ndarray]:
+        pairs = np.concatenate([self.train_pos, self.train_neg])
+        labels = np.concatenate(
+            [np.ones(len(self.train_pos)), np.zeros(len(self.train_neg))]
+        )
+        return pairs, labels
+
+    def test_pairs_and_labels(self) -> tuple[np.ndarray, np.ndarray]:
+        pairs = np.concatenate([self.test_pos, self.test_neg])
+        labels = np.concatenate(
+            [np.ones(len(self.test_pos)), np.zeros(len(self.test_neg))]
+        )
+        return pairs, labels
+
+
+def make_link_prediction_split(
+    graph: EntityGraph,
+    test_fraction: float = 0.1,
+    train_negative_ratio: float = 3.0,
+    rng: np.random.Generator | int | None = None,
+) -> LinkPredictionSplit:
+    """Split ``graph`` into the paper's train/test protocol.
+
+    Parameters
+    ----------
+    graph:
+        The initial entity graph (output of the candidate-generation stage).
+    test_fraction:
+        Fraction of edges held out as positive test pairs (paper: 0.1).
+    train_negative_ratio:
+        Negatives per positive in training (paper: 18M/6M = 3).
+    """
+    if not 0 < test_fraction < 1:
+        raise ConfigError("test_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    lo, hi = graph.canonical_pairs()
+    num_edges = graph.num_edges
+    num_test = max(1, int(round(num_edges * test_fraction)))
+    perm = rng.permutation(num_edges)
+    test_idx, train_idx = perm[:num_test], perm[num_test:]
+
+    test_pos = np.stack([lo[test_idx], hi[test_idx]], axis=1)
+    train_pos = np.stack([lo[train_idx], hi[train_idx]], axis=1)
+    train_graph = graph.remove_edges([tuple(p) for p in test_pos])
+
+    test_neg = sample_negative_pairs(graph, num_test, rng)
+    forbidden = {tuple(p) for p in test_neg}
+    num_train_neg = int(round(len(train_pos) * train_negative_ratio))
+    train_neg = sample_negative_pairs(graph, num_train_neg, rng, forbidden=forbidden)
+
+    return LinkPredictionSplit(
+        train_graph=train_graph,
+        train_pos=train_pos,
+        train_neg=train_neg,
+        test_pos=test_pos,
+        test_neg=test_neg,
+    )

@@ -1,0 +1,20 @@
+"""Embedding substrate: skip-gram (E^Co), mini-BERT semantics (E^Se), kNN."""
+
+from repro.embeddings.skipgram import SkipGramConfig, SkipGramModel
+from repro.embeddings.mlm import MaskedLanguageModel, MLMConfig, MLMTrainReport, train_mlm
+from repro.embeddings.semantic import SemanticEncoderConfig, SemanticEntityEncoder
+from repro.embeddings.knn import BruteForceKNN, IVFIndex, LSHIndex
+
+__all__ = [
+    "SkipGramConfig",
+    "SkipGramModel",
+    "MaskedLanguageModel",
+    "MLMConfig",
+    "MLMTrainReport",
+    "train_mlm",
+    "SemanticEncoderConfig",
+    "SemanticEntityEncoder",
+    "BruteForceKNN",
+    "IVFIndex",
+    "LSHIndex",
+]

@@ -1,0 +1,119 @@
+"""Mini-BERT: masked-language-model pretraining for semantic embeddings.
+
+Paper §III-B.1 uses BERT pre-trained on Wikipedia to provide the
+*semantic-level* entity embeddings ``E^Se``. Offline we cannot ship BERT, so
+we pretrain a small transformer encoder with the same objective (masked token
+prediction) on the synthetic corpus (entity descriptions + behavior texts).
+The encoder is then reused by :mod:`repro.embeddings.semantic` to embed
+entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+from repro.nn import Linear, Module, TransformerEncoder
+from repro.nn.functional import cross_entropy
+from repro.tensor import Adam, Tensor, no_grad
+from repro.text.tokenizer import encode_batch
+from repro.text.vocab import Vocab
+
+
+@dataclass
+class MLMConfig:
+    dim: int = 32
+    num_layers: int = 2
+    num_heads: int = 2
+    max_len: int = 16
+    mask_prob: float = 0.15
+    epochs: int = 6
+    batch_size: int = 32
+    lr: float = 2e-3
+    seed: int = 17
+
+    def validate(self) -> None:
+        if not 0 < self.mask_prob < 1:
+            raise ConfigError("mask_prob must be in (0, 1)")
+        if self.dim % self.num_heads:
+            raise ConfigError("dim must be divisible by num_heads")
+
+
+class MaskedLanguageModel(Module):
+    """Transformer encoder + tied-size output head for MLM pretraining."""
+
+    def __init__(self, vocab: Vocab, config: MLMConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or MLMConfig()
+        self.config.validate()
+        rng = rng_mod.ensure_rng(self.config.seed)
+        self.vocab = vocab
+        self.encoder = TransformerEncoder(
+            len(vocab),
+            self.config.dim,
+            self.config.num_layers,
+            self.config.num_heads,
+            self.config.max_len,
+            rng=rng,
+        )
+        self.output_head = Linear(self.config.dim, len(vocab), rng)
+        self._mask_rng = rng_mod.ensure_rng(self.config.seed + 1)
+
+    # ------------------------------------------------------------------
+    def loss(self, token_ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        """One MLM step: mask 15% of real tokens, predict them."""
+        cfg = self.config
+        corrupted = token_ids.copy()
+        candidates = mask & (token_ids != self.vocab.pad_id)
+        targets_mask = candidates & (self._mask_rng.random(token_ids.shape) < cfg.mask_prob)
+        if not targets_mask.any():
+            # Guarantee at least one prediction target per batch.
+            rows, cols = np.nonzero(candidates)
+            pick = self._mask_rng.integers(0, len(rows))
+            targets_mask[rows[pick], cols[pick]] = True
+        corrupted[targets_mask] = self.vocab.mask_id
+
+        hidden = self.encoder(corrupted, key_padding_mask=mask)
+        logits = self.output_head(hidden)
+        return cross_entropy(logits, token_ids, mask=targets_mask)
+
+    def encode(self, token_ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Mean-pooled sentence embeddings ``(batch, dim)`` (no gradient)."""
+        with no_grad():
+            hidden = self.encoder(token_ids, key_padding_mask=mask)
+        h = hidden.data
+        m = mask.astype(np.float64)[..., None]
+        return (h * m).sum(axis=1) / np.maximum(m.sum(axis=1), 1.0)
+
+
+@dataclass
+class MLMTrainReport:
+    losses: list[float]
+
+
+def train_mlm(
+    model: MaskedLanguageModel,
+    documents: list[list[str]],
+    rng: np.random.Generator | int | None = None,
+) -> MLMTrainReport:
+    """Pretrain on tokenised documents; returns the loss curve."""
+    if not documents:
+        raise ConfigError("no documents to pretrain on")
+    cfg = model.config
+    rng = rng_mod.ensure_rng(rng if rng is not None else cfg.seed + 2)
+    optimizer = Adam(model.parameters(), lr=cfg.lr)
+    losses: list[float] = []
+    for _ in range(cfg.epochs):
+        order = rng.permutation(len(documents))
+        for start in range(0, len(order), cfg.batch_size):
+            batch = [documents[i] for i in order[start : start + cfg.batch_size]]
+            ids, mask = encode_batch(batch, model.vocab, cfg.max_len)
+            optimizer.zero_grad()
+            loss = model.loss(ids, mask)
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+    return MLMTrainReport(losses=losses)

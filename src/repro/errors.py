@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class GradientError(ReproError):
+    """Backward pass was requested in an invalid state."""
+
+
+class VocabularyError(ReproError):
+    """A token or entity was not found in a vocabulary/dictionary."""
+
+
+class GraphError(ReproError):
+    """An entity-graph operation failed (unknown node, bad edge, ...)."""
+
+
+class StorageError(ReproError):
+    """The graph storage layer hit corrupted or inconsistent data."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its documented range."""
+
+
+class NotFittedError(ReproError):
+    """A model/pipeline was used before being trained or built."""

@@ -1,0 +1,118 @@
+"""Simulated manual evaluation: the annotator panel (paper §IV-A.1).
+
+The paper samples entity pairs and asks 8 human annotators for a three-way
+judgment — highly correlated (1), medium (0.5), uncorrelated (0) — from
+which it derives:
+
+* **ACC**: fraction of relations with correlation score > 0;
+* **CorS**: mean correlation score over judged relations;
+* **AEEC**: average expansion entity count per source entity.
+
+Here each simulated annotator observes the *ground-truth latent relatedness*
+(cosine of topic mixtures in the synthetic world) through personal Gaussian
+noise and quantises with personal thresholds; the panel judgment is the mean
+of the 8 annotator scores, quantised back to {0, 0.5, 1}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.world import World
+from repro.errors import ConfigError
+from repro.rng import ensure_rng
+
+
+@dataclass
+class AnnotationReport:
+    """Panel metrics over a set of judged relations."""
+
+    acc: float
+    cors: float
+    num_pairs: int
+
+
+class AnnotatorPanel:
+    """Panel of noisy annotators over a world's ground truth."""
+
+    def __init__(
+        self,
+        world: World,
+        num_annotators: int = 8,
+        noise_std: float = 0.08,
+        high_threshold: float = 0.6,
+        medium_threshold: float = 0.35,
+        seed: int = 23,
+    ) -> None:
+        if num_annotators < 1:
+            raise ConfigError("need at least one annotator")
+        if not 0 <= medium_threshold < high_threshold <= 1:
+            raise ConfigError("thresholds must satisfy 0 <= medium < high <= 1")
+        self.world = world
+        self.num_annotators = num_annotators
+        self.noise_std = noise_std
+        self.high_threshold = high_threshold
+        self.medium_threshold = medium_threshold
+        rng = ensure_rng(seed)
+        self._seed = seed
+        # Personal biases: each annotator shifts both thresholds a little.
+        self._threshold_shift = rng.normal(0.0, 0.03, size=num_annotators)
+
+    # ------------------------------------------------------------------
+    def judge_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Panel correlation score in {0, 0.5, 1} for each (u, v) pair.
+
+        The observation noise is derived from the pair contents, so the
+        same pair set always receives the same judgment regardless of how
+        many evaluations happened before — call-order independent results.
+        """
+        import zlib
+
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        truth = np.array([self.world.relatedness(u, v) for u, v in pairs])
+        noise_rng = ensure_rng(self._seed + 1 + zlib.crc32(pairs.tobytes()))
+        votes = np.zeros((len(pairs), self.num_annotators))
+        for a in range(self.num_annotators):
+            observed = truth + noise_rng.normal(0.0, self.noise_std, size=len(pairs))
+            high = self.high_threshold + self._threshold_shift[a]
+            medium = self.medium_threshold + self._threshold_shift[a]
+            votes[:, a] = np.where(observed >= high, 1.0, np.where(observed >= medium, 0.5, 0.0))
+        mean_vote = votes.mean(axis=1)
+        return np.where(mean_vote >= 0.75, 1.0, np.where(mean_vote >= 0.25, 0.5, 0.0))
+
+    def evaluate_relations(
+        self,
+        pairs: np.ndarray,
+        sample_size: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> AnnotationReport:
+        """ACC and CorS over (a sample of) proposed relations."""
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if len(pairs) == 0:
+            raise ConfigError("no relations to evaluate")
+        if sample_size is not None and sample_size < len(pairs):
+            rng = ensure_rng(rng)
+            pairs = pairs[rng.choice(len(pairs), size=sample_size, replace=False)]
+        scores = self.judge_pairs(pairs)
+        return AnnotationReport(
+            acc=float((scores > 0).mean()),
+            cors=float(scores.mean()),
+            num_pairs=len(pairs),
+        )
+
+
+def average_expansion_entity_count(pairs: np.ndarray, num_sources: int | None = None) -> float:
+    """AEEC: relations per distinct source entity (paper Eq. 8).
+
+    ``num_sources`` defaults to the number of distinct entities appearing in
+    ``pairs``; pass the Entity Dict size for dictionary-normalised AEEC.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    if len(pairs) == 0:
+        return 0.0
+    if num_sources is None:
+        num_sources = len(np.unique(pairs))
+    # Each undirected relation expands both of its endpoints.
+    return float(2.0 * len(pairs) / num_sources)

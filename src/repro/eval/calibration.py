@@ -1,0 +1,84 @@
+"""Probability calibration diagnostics for link predictors.
+
+The ranked entity graph uses the model's link probabilities as edge
+confidences (and the pipeline applies an absolute probability floor), so
+those probabilities should mean what they say. This module provides the
+standard diagnostics: a binned reliability curve and the expected
+calibration error (ECE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ReliabilityBin:
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    empirical_accuracy: float
+
+
+@dataclass
+class CalibrationReport:
+    bins: list[ReliabilityBin]
+    ece: float
+    brier: float
+
+    def to_text(self) -> str:
+        lines = ["confidence bin      n     conf    acc"]
+        for b in self.bins:
+            lines.append(
+                f"[{b.lower:.1f}, {b.upper:.1f})   {b.count:>6d}  {b.mean_confidence:.3f}  "
+                f"{b.empirical_accuracy:.3f}"
+            )
+        lines.append(f"ECE {self.ece:.4f}  Brier {self.brier:.4f}")
+        return "\n".join(lines)
+
+
+def reliability_report(
+    labels: np.ndarray, probabilities: np.ndarray, num_bins: int = 10
+) -> CalibrationReport:
+    """Bin predictions by confidence and compare to empirical accuracy.
+
+    ECE = Σ_b (n_b / n) |conf_b − acc_b| over non-empty bins.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if labels.shape != probabilities.shape:
+        raise ConfigError("labels and probabilities must align")
+    if num_bins < 2:
+        raise ConfigError("need at least two bins")
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise ConfigError("probabilities must be in [0, 1]")
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    indices = np.clip(np.digitize(probabilities, edges[1:-1]), 0, num_bins - 1)
+    bins: list[ReliabilityBin] = []
+    ece = 0.0
+    n = len(labels)
+    for b in range(num_bins):
+        mask = indices == b
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        conf = float(probabilities[mask].mean())
+        acc = float(labels[mask].mean())
+        ece += (count / n) * abs(conf - acc)
+        bins.append(
+            ReliabilityBin(
+                lower=float(edges[b]),
+                upper=float(edges[b + 1]),
+                count=count,
+                mean_confidence=conf,
+                empirical_accuracy=acc,
+            )
+        )
+    brier = float(((probabilities - labels) ** 2).mean())
+    return CalibrationReport(bins=bins, ece=ece, brier=brier)

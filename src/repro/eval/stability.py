@@ -1,0 +1,42 @@
+"""Weekly stability metrics (paper Fig. 5(b) and Table I's Var(ACC)).
+
+The paper reports the *variance of weekly accuracy* (in percentage points
+squared): ALPC alone fluctuates with the drifting data source
+(variance ≈ 0.31) while the ensemble stage keeps it steady (≈ 0.08).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class StabilityReport:
+    """Summary of a weekly accuracy series (values in [0, 1])."""
+
+    weekly_acc: list[float]
+    mean_acc: float
+    variance_pp: float  # variance in percentage-point^2, the paper's unit
+    min_acc: float
+    max_acc: float
+
+
+def weekly_stability(weekly_acc: list[float]) -> StabilityReport:
+    """Summarise a weekly ACC series the way the paper reports it."""
+    if len(weekly_acc) < 2:
+        raise ConfigError("need at least two weekly points for a variance")
+    arr = np.asarray(weekly_acc, dtype=np.float64)
+    if arr.min() < 0 or arr.max() > 1:
+        raise ConfigError("weekly accuracies must be fractions in [0, 1]")
+    percent = arr * 100.0
+    return StabilityReport(
+        weekly_acc=[float(v) for v in arr],
+        mean_acc=float(arr.mean()),
+        variance_pp=float(percent.var()),
+        min_acc=float(arr.min()),
+        max_acc=float(arr.max()),
+    )

@@ -1,0 +1,23 @@
+"""Graph neural network layers and encoders."""
+
+from repro.gnn.common import gcn_norm_coefficients, message_edges
+from repro.gnn.layers import CompGCNLayer, GATLayer, GCNLayer, GraphSAGELayer
+from repro.gnn.geniepath import GeniePathEncoder, GeniePathLayer
+from repro.gnn.encoder import GNNEncoder
+from repro.gnn.hyperbolic import PoincareConfig, PoincareEmbedding, poincare_distance, project_to_ball
+
+__all__ = [
+    "message_edges",
+    "gcn_norm_coefficients",
+    "GCNLayer",
+    "GraphSAGELayer",
+    "GATLayer",
+    "CompGCNLayer",
+    "GeniePathLayer",
+    "GeniePathEncoder",
+    "GNNEncoder",
+    "PoincareConfig",
+    "PoincareEmbedding",
+    "poincare_distance",
+    "project_to_ball",
+]

@@ -1,0 +1,32 @@
+"""Shared plumbing for GNN layers.
+
+All layers share one calling convention::
+
+    layer(x, src, dst, num_nodes) -> Tensor
+
+where ``x`` is the ``(num_nodes, dim)`` node-feature tensor and ``src``/
+``dst`` are aligned int arrays listing every *directed* message edge
+(an undirected graph contributes both directions; see
+:meth:`repro.graph.EntityGraph.directed_edges`). Layers never mutate the
+graph; self-loops are handled internally where the architecture wants them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.entity_graph import EntityGraph
+
+
+def message_edges(graph: EntityGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Directed (src, dst, relation) arrays for message passing."""
+    return graph.directed_edges()
+
+
+def gcn_norm_coefficients(src: np.ndarray, dst: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Symmetric GCN normalisation ``1/sqrt(deg_src * deg_dst)`` per edge.
+
+    Degrees include the implicit self-loop, matching Kipf & Welling.
+    """
+    deg = np.bincount(dst, minlength=num_nodes).astype(np.float64) + 1.0
+    return 1.0 / np.sqrt(deg[src] * deg[dst])

@@ -1,0 +1,64 @@
+"""Generic stacked GNN encoder for the layer types in :mod:`repro.gnn.layers`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+from repro.gnn.layers import CompGCNLayer, GATLayer, GCNLayer, GraphSAGELayer
+from repro.nn.module import Module, ModuleList
+from repro.tensor import Tensor, relu
+
+_LAYER_TYPES = {
+    "gcn": GCNLayer,
+    "sage": GraphSAGELayer,
+    "gat": GATLayer,
+    "compgcn": CompGCNLayer,
+}
+
+
+class GNNEncoder(Module):
+    """Stack ``num_layers`` layers of one type with ReLU in between.
+
+    Used directly by the VGAE / CompGCN / SEAL / PaGNN baselines; ALPC uses
+    the dedicated :class:`repro.gnn.geniepath.GeniePathEncoder`.
+    """
+
+    def __init__(
+        self,
+        layer_type: str,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int = 2,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if layer_type not in _LAYER_TYPES:
+            raise ConfigError(f"unknown layer type {layer_type!r}; choose from {sorted(_LAYER_TYPES)}")
+        if num_layers < 1:
+            raise ConfigError("num_layers must be >= 1")
+        rng = rng_mod.ensure_rng(rng)
+        self.layer_type = layer_type
+        cls = _LAYER_TYPES[layer_type]
+        dims = [in_dim] + [hidden_dim] * num_layers
+        self.layers = ModuleList([cls(a, b, rng=rng) for a, b in zip(dims[:-1], dims[1:])])
+
+    def forward(
+        self,
+        x: Tensor,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int,
+        relation: np.ndarray | None = None,
+    ) -> Tensor:
+        h = x
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            if self.layer_type == "compgcn":
+                h = layer(h, src, dst, num_nodes, relation=relation)
+            else:
+                h = layer(h, src, dst, num_nodes)
+            if i != last:
+                h = relu(h)
+        return h

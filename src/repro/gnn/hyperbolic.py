@@ -1,0 +1,181 @@
+"""Poincaré-ball embeddings for the entity graph (paper's future work).
+
+The paper closes with: "we are also interested in investigating hyperbolic
+graph learning for modeling hierarchical structures in our entity graphs".
+This module implements that direction: Nickel & Kiela (2017) Poincaré
+embeddings trained on the mined entity graph with Riemannian SGD, plus the
+evaluation utilities used by the hierarchy benchmark (distance-based link
+reconstruction, comparison against Euclidean embeddings of equal dimension).
+
+All operations are on the open unit ball ``B^d = {x : ||x|| < 1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+from repro.graph.entity_graph import EntityGraph
+from repro.rng import ensure_rng
+
+_EPS = 1e-9
+_MAX_NORM = 1.0 - 1e-5
+
+
+def poincare_distance(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Geodesic distance on the Poincaré ball (broadcasts over rows).
+
+    ``d(u, v) = arcosh(1 + 2 ||u-v||^2 / ((1-||u||^2)(1-||v||^2)))``
+    """
+    diff = np.sum((u - v) ** 2, axis=-1)
+    u_norm = np.clip(1.0 - np.sum(u**2, axis=-1), _EPS, 1.0)
+    v_norm = np.clip(1.0 - np.sum(v**2, axis=-1), _EPS, 1.0)
+    argument = 1.0 + 2.0 * diff / (u_norm * v_norm)
+    return np.arccosh(np.maximum(argument, 1.0 + _EPS))
+
+
+def project_to_ball(x: np.ndarray) -> np.ndarray:
+    """Clip points back inside the ball after a gradient step."""
+    norms = np.linalg.norm(x, axis=-1, keepdims=True)
+    factor = np.where(norms >= _MAX_NORM, _MAX_NORM / np.maximum(norms, _EPS), 1.0)
+    return x * factor
+
+
+@dataclass
+class PoincareConfig:
+    dim: int = 8
+    epochs: int = 30
+    lr: float = 0.3
+    negatives: int = 8
+    burn_in_epochs: int = 5
+    burn_in_lr_factor: float = 0.1
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.dim < 2:
+            raise ConfigError("hyperbolic dim must be >= 2")
+        if self.epochs < 1 or self.negatives < 1:
+            raise ConfigError("epochs and negatives must be positive")
+
+
+class PoincareEmbedding:
+    """Train Poincaré embeddings on an entity graph's edges.
+
+    The loss is the softmax ranking objective of Nickel & Kiela: for each
+    edge (u, v) and sampled non-neighbours N(u),
+
+        L = -log  exp(-d(u,v)) / Σ_{v' ∈ {v} ∪ N(u)} exp(-d(u,v'))
+
+    optimised with Riemannian SGD: the Euclidean gradient is rescaled by
+    ``((1 - ||θ||^2)^2 / 4)`` before the update, followed by projection back
+    into the ball.
+    """
+
+    def __init__(self, num_nodes: int, config: PoincareConfig | None = None) -> None:
+        self.num_nodes = num_nodes
+        self.config = config or PoincareConfig()
+        self.config.validate()
+        rng = ensure_rng(self.config.seed)
+        self.vectors = rng.uniform(-1e-3, 1e-3, size=(num_nodes, self.config.dim))
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, graph: EntityGraph, rng: np.random.Generator | int | None = None) -> "PoincareEmbedding":
+        if graph.num_nodes != self.num_nodes:
+            raise ConfigError("graph node count does not match the embedding table")
+        if graph.num_edges == 0:
+            raise ConfigError("cannot embed an empty graph")
+        cfg = self.config
+        rng = ensure_rng(rng if rng is not None else cfg.seed + 1)
+        lo, hi = graph.canonical_pairs()
+        edges = np.concatenate(
+            [np.stack([lo, hi], axis=1), np.stack([hi, lo], axis=1)], axis=0
+        )
+        degrees = graph.degrees().astype(np.float64)
+        neg_probs = np.maximum(degrees, 1e-3) ** 0.75
+        neg_probs = neg_probs / neg_probs.sum()
+
+        for epoch in range(cfg.epochs):
+            lr = cfg.lr * (cfg.burn_in_lr_factor if epoch < cfg.burn_in_epochs else 1.0)
+            order = rng.permutation(len(edges))
+            for index in order:
+                u, v = edges[index]
+                negatives = rng.choice(self.num_nodes, size=cfg.negatives, p=neg_probs)
+                self._sgd_step(int(u), int(v), negatives, lr)
+        self._fitted = True
+        return self
+
+    def _sgd_step(self, u: int, v: int, negatives: np.ndarray, lr: float) -> None:
+        # Candidates: the positive first, then negatives.
+        candidates = np.concatenate([[v], negatives])
+        theta_u = self.vectors[u]
+        theta_c = self.vectors[candidates]
+
+        distances = poincare_distance(theta_u[None, :], theta_c)
+        weights = np.exp(-distances)
+        weights = weights / max(weights.sum(), _EPS)
+        # L = d_0 + log Σ_k exp(-d_k)  ⇒  dL/dd_0 = 1 - w_0, dL/dd_k = -w_k.
+        coeff = -weights
+        coeff[0] += 1.0
+
+        grad_u = np.zeros_like(theta_u)
+        for k, c in enumerate(candidates):
+            du, dc = self._distance_gradients(theta_u, theta_c[k])
+            grad_u += coeff[k] * du
+            self._riemannian_update(int(c), coeff[k] * dc, lr)
+        self._riemannian_update(u, grad_u, lr)
+
+    @staticmethod
+    def _distance_gradients(u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Euclidean gradients of d(u, v) w.r.t. u and v."""
+        u_sq = np.clip(1.0 - u @ u, _EPS, 1.0)
+        v_sq = np.clip(1.0 - v @ v, _EPS, 1.0)
+        diff_sq = float(np.sum((u - v) ** 2))
+        alpha = 1.0 + 2.0 * diff_sq / (u_sq * v_sq)
+        denom = max(np.sqrt(alpha**2 - 1.0), _EPS)
+
+        def partial(a, b, a_sq, b_sq):
+            term = (b @ b - 2.0 * (a @ b) + 1.0) / max(a_sq**2, _EPS)
+            return (4.0 / (b_sq * denom)) * (term * a - b / max(a_sq, _EPS))
+
+        return partial(u, v, u_sq, v_sq), partial(v, u, v_sq, u_sq)
+
+    def _riemannian_update(self, node: int, euclidean_grad: np.ndarray, lr: float) -> None:
+        theta = self.vectors[node]
+        scale = (1.0 - theta @ theta) ** 2 / 4.0
+        self.vectors[node] = project_to_ball(theta - lr * scale * euclidean_grad)
+
+    # ------------------------------------------------------------------
+    def _require_fit(self) -> None:
+        if not self._fitted:
+            raise NotFittedError("PoincareEmbedding.fit has not been called")
+
+    def distance(self, u: int, v: int) -> float:
+        self._require_fit()
+        return float(poincare_distance(self.vectors[u], self.vectors[v]))
+
+    def pairwise_distances(self, pairs: np.ndarray) -> np.ndarray:
+        self._require_fit()
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return poincare_distance(self.vectors[pairs[:, 0]], self.vectors[pairs[:, 1]])
+
+    def norms(self) -> np.ndarray:
+        """Distance from the ball's origin — a depth proxy: generic hub
+        entities sit near the centre, specific ones near the boundary."""
+        self._require_fit()
+        return np.linalg.norm(self.vectors, axis=1)
+
+    def reconstruction_auc(self, graph: EntityGraph, rng: np.random.Generator | int | None = 0) -> float:
+        """AUC of -distance separating edges from sampled non-edges."""
+        from repro.eval.metrics import roc_auc
+        from repro.graph.sampling import sample_negative_pairs
+
+        self._require_fit()
+        lo, hi = graph.canonical_pairs()
+        pos = np.stack([lo, hi], axis=1)
+        neg = sample_negative_pairs(graph, len(pos), rng=rng)
+        scores = -np.concatenate([self.pairwise_distances(pos), self.pairwise_distances(neg)])
+        labels = np.concatenate([np.ones(len(pos)), np.zeros(len(neg))])
+        return roc_auc(labels, scores)

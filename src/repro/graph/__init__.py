@@ -1,0 +1,46 @@
+"""Entity-graph substrate: in-memory graph, k-hop reasoning, sampling, storage."""
+
+from repro.graph.entity_graph import (
+    NUM_RELATION_TYPES,
+    RELATION_BOTH,
+    RELATION_COOCCURRENCE,
+    RELATION_NAMES,
+    RELATION_RANKED,
+    RELATION_SEMANTIC,
+    EntityGraph,
+)
+from repro.graph.khop import ExpansionResult, k_hop_expansion, k_hop_subgraph
+from repro.graph.sampling import (
+    AliasSampler,
+    node2vec_walks,
+    random_walks,
+    sample_corrupted_targets,
+    sample_negative_pairs,
+)
+from repro.graph.storage import GraphStore
+from repro.graph.metrics import GraphSummary, connected_components, degree_histogram, local_clustering, mean_clustering, summarize_graph
+
+__all__ = [
+    "EntityGraph",
+    "ExpansionResult",
+    "k_hop_expansion",
+    "k_hop_subgraph",
+    "AliasSampler",
+    "node2vec_walks",
+    "random_walks",
+    "sample_corrupted_targets",
+    "sample_negative_pairs",
+    "GraphStore",
+    "GraphSummary",
+    "connected_components",
+    "degree_histogram",
+    "local_clustering",
+    "mean_clustering",
+    "summarize_graph",
+    "NUM_RELATION_TYPES",
+    "RELATION_BOTH",
+    "RELATION_COOCCURRENCE",
+    "RELATION_NAMES",
+    "RELATION_RANKED",
+    "RELATION_SEMANTIC",
+]

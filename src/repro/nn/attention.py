@@ -1,0 +1,81 @@
+"""Multi-head scaled dot-product attention.
+
+Used in three places in the reproduction: the mini-BERT semantic encoder,
+the NER tagger's transformer encoder, and — exactly as in the paper — the
+TRMP ensemble stage that fuses weekly ALPC snapshot embeddings (§III-B.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, softmax
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention over ``(batch, seq, dim)`` inputs.
+
+    Parameters
+    ----------
+    dim:
+        Model width; must be divisible by ``num_heads``.
+    num_heads:
+        Number of parallel attention heads.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ConfigError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng_mod.ensure_rng(rng)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        key_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend ``query`` over ``key``/``value`` (defaults: self-attention).
+
+        ``key_padding_mask`` is a boolean array of shape ``(batch, seq_k)``
+        where ``True`` marks *valid* positions.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+
+        batch, seq_q, _ = query.shape
+        seq_k = key.shape[1]
+
+        q = self._split_heads(self.q_proj(query), batch, seq_q)
+        k = self._split_heads(self.k_proj(key), batch, seq_k)
+        v = self._split_heads(self.v_proj(value), batch, seq_k)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        logits = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, Tq, Tk)
+        if key_padding_mask is not None:
+            bias = np.where(key_padding_mask[:, None, None, :], 0.0, -1e9)
+            logits = logits + bias
+        weights = softmax(logits, axis=-1)
+        context = weights @ v  # (B, H, Tq, dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq_q, self.dim)
+        return self.out_proj(merged)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)

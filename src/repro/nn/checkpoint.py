@@ -1,0 +1,49 @@
+"""Model checkpointing: persist Module state dicts as ``.npz`` files.
+
+The offline cadence retrains weekly; in a deployment the ALPC snapshot
+(whose embeddings the ensemble fuses) is saved to disk between runs. This
+module provides that persistence for any :class:`repro.nn.Module`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.nn.module import Module
+
+_META_KEY = "__checkpoint_format__"
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(module: Module, path: str | Path) -> int:
+    """Write the module's parameters to ``path`` (``.npz``); returns count."""
+    state = module.state_dict()
+    if not state:
+        raise StorageError("module has no parameters to checkpoint")
+    payload = dict(state)
+    payload[_META_KEY] = np.array(_FORMAT_VERSION)
+    np.savez_compressed(Path(path), **payload)
+    return len(state)
+
+
+def load_checkpoint(module: Module, path: str | Path) -> int:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``.
+
+    Shapes and names must match exactly (delegates to
+    :meth:`Module.load_state_dict`); returns the parameter count.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        if _META_KEY not in data:
+            raise StorageError(f"{path} is not a repro checkpoint")
+        version = int(data[_META_KEY])
+        if version != _FORMAT_VERSION:
+            raise StorageError(f"unsupported checkpoint format {version}")
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+    module.load_state_dict(state)
+    return len(state)

@@ -1,0 +1,131 @@
+"""Linear-chain Conditional Random Field.
+
+The paper extracts entities with a BertCRF tagger (§III-A.2). This module is
+the CRF half: exact sequence-level negative log-likelihood via the forward
+algorithm (differentiable through the autograd engine) and Viterbi decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+from repro.tensor import Tensor, init, logsumexp
+
+
+class LinearChainCRF(Module):
+    """CRF over ``num_tags`` states with learned transition scores.
+
+    Scores a tag sequence ``y`` for emissions ``x`` as::
+
+        score(x, y) = start[y_0] + sum_t emit[t, y_t]
+                      + sum_t trans[y_{t-1}, y_t] + end[y_{T-1}]
+    """
+
+    def __init__(self, num_tags: int) -> None:
+        super().__init__()
+        self.num_tags = num_tags
+        self.transitions = init.zeros((num_tags, num_tags))
+        self.start_scores = init.zeros((num_tags,))
+        self.end_scores = init.zeros((num_tags,))
+
+    # ------------------------------------------------------------------
+    def neg_log_likelihood(
+        self,
+        emissions: Tensor,
+        tags: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Mean negative log-likelihood of ``tags`` under the CRF.
+
+        Parameters
+        ----------
+        emissions:
+            ``(batch, seq, num_tags)`` per-token tag scores.
+        tags:
+            ``(batch, seq)`` gold tag ids.
+        mask:
+            ``(batch, seq)`` boolean; ``True`` marks real tokens. Every
+            sequence must have at least one valid position, and valid
+            positions must be a prefix (left-aligned padding).
+        """
+        batch, seq, num_tags = emissions.shape
+        if num_tags != self.num_tags:
+            raise ShapeError(f"emissions have {num_tags} tags, CRF expects {self.num_tags}")
+        tags = np.asarray(tags, dtype=np.int64)
+        if mask is None:
+            mask = np.ones((batch, seq), dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if not mask[:, 0].all():
+            raise ShapeError("CRF mask must start with a valid token in every sequence")
+
+        gold = self._sequence_score(emissions, tags, mask)
+        partition = self._partition(emissions, mask)
+        return (partition - gold).mean()
+
+    def _sequence_score(self, emissions: Tensor, tags: np.ndarray, mask: np.ndarray) -> Tensor:
+        batch, seq, _ = emissions.shape
+        rows = np.arange(batch)[:, None]
+        cols = np.arange(seq)[None, :]
+        emit = emissions[rows, cols, tags]  # (B, T)
+        emit = emit * mask.astype(np.float64)
+        score = emit.sum(axis=1) + self.start_scores[tags[:, 0]]
+
+        if seq > 1:
+            pair_mask = (mask[:, :-1] & mask[:, 1:]).astype(np.float64)
+            trans = self.transitions[tags[:, :-1], tags[:, 1:]]  # (B, T-1)
+            score = score + (trans * pair_mask).sum(axis=1)
+
+        lengths = mask.sum(axis=1)
+        last_tags = tags[np.arange(batch), lengths - 1]
+        score = score + self.end_scores[last_tags]
+        return score
+
+    def _partition(self, emissions: Tensor, mask: np.ndarray) -> Tensor:
+        batch, seq, num_tags = emissions.shape
+        alpha = emissions[:, 0, :] + self.start_scores  # (B, K)
+        trans = self.transitions.reshape(1, self.num_tags, self.num_tags)
+        for t in range(1, seq):
+            emit_t = emissions[:, t, :]  # (B, K)
+            # (B, K_prev, 1) + (1, K_prev, K_next) + (B, 1, K_next)
+            scores = alpha.reshape(batch, num_tags, 1) + trans + emit_t.reshape(batch, 1, num_tags)
+            stepped = logsumexp(scores, axis=1)  # (B, K)
+            keep = mask[:, t].astype(np.float64)[:, None]
+            alpha = stepped * keep + alpha * (1.0 - keep)
+        alpha = alpha + self.end_scores
+        return logsumexp(alpha, axis=1)
+
+    # ------------------------------------------------------------------
+    def decode(self, emissions: np.ndarray, mask: np.ndarray | None = None) -> list[list[int]]:
+        """Viterbi-decode the best tag sequence per batch item (no gradient)."""
+        emissions = np.asarray(emissions, dtype=np.float64)
+        if emissions.ndim != 3:
+            raise ShapeError("decode expects (batch, seq, num_tags) emissions")
+        batch, seq, _ = emissions.shape
+        if mask is None:
+            mask = np.ones((batch, seq), dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+
+        trans = self.transitions.data
+        start = self.start_scores.data
+        end = self.end_scores.data
+
+        results: list[list[int]] = []
+        for b in range(batch):
+            length = int(mask[b].sum())
+            score = start + emissions[b, 0]
+            backpointers = np.zeros((length, self.num_tags), dtype=np.int64)
+            for t in range(1, length):
+                candidate = score[:, None] + trans  # (prev, next)
+                backpointers[t] = candidate.argmax(axis=0)
+                score = candidate.max(axis=0) + emissions[b, t]
+            score = score + end
+            best = int(score.argmax())
+            path = [best]
+            for t in range(length - 1, 0, -1):
+                best = int(backpointers[t, best])
+                path.append(best)
+            path.reverse()
+            results.append(path)
+        return results

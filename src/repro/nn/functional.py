@@ -1,0 +1,73 @@
+"""Loss functions shared across models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, as_tensor, log_softmax, relu
+from repro.tensor.ops import _as_tensor, _make  # noqa: F401 (re-export convenience)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> Tensor:
+    """Numerically stable BCE on raw logits.
+
+    Uses the identity ``bce = max(z, 0) - z*y + log(1 + exp(-|z|))`` which
+    never exponentiates a positive number.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    z = logits.data
+    softplus = np.log1p(np.exp(-np.abs(z)))
+    loss_data = np.maximum(z, 0.0) - z * targets + softplus
+    # Gradient of BCE wrt logits is sigmoid(z) - y.
+    sig = np.where(z >= 0, 1.0 / (1.0 + np.exp(-z)), np.exp(z) / (1.0 + np.exp(z)))
+    grad_local = sig - targets
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        loss_data = loss_data * weights
+        grad_local = grad_local * weights
+        denom = float(weights.sum()) or 1.0
+    else:
+        denom = float(loss_data.size)
+
+    mean = float(loss_data.sum()) / denom
+
+    def backward(g: np.ndarray) -> tuple[np.ndarray]:
+        return (g * grad_local / denom,)
+
+    return _make(np.asarray(mean), (logits,), backward, "bce_with_logits")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+    """Mean categorical cross-entropy over the last axis.
+
+    ``logits``: ``(..., num_classes)``; ``targets``: integer class ids of
+    shape ``logits.shape[:-1]``; optional boolean ``mask`` of the same shape
+    selects which positions count.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, logits.shape[-1])
+    idx = np.arange(flat.shape[0])
+    picked = flat[idx, targets.reshape(-1)]
+    if mask is not None:
+        m = np.asarray(mask, dtype=np.float64).reshape(-1)
+        denom = float(m.sum()) or 1.0
+        return -(picked * m).sum() * (1.0 / denom)
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    pred = as_tensor(pred)
+    diff = pred - np.asarray(target, dtype=np.float64)
+    return (diff * diff).mean()
+
+
+def hinge_margin_loss(positive: Tensor, negative: Tensor, margin: float = 1.0) -> Tensor:
+    """Pairwise hinge: encourage ``positive`` to exceed ``negative`` by ``margin``."""
+    return relu(negative - positive + margin).mean()

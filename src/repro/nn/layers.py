@@ -1,0 +1,133 @@
+"""Basic dense layers: Linear, MLP, Embedding, LayerNorm, Dropout."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+from repro.nn.module import Module, ModuleList
+from repro.tensor import Tensor, dropout as dropout_op, embedding_lookup, init, relu, tanh
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-uniform weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | int | None = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        rng = rng_mod.ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform((in_features, out_features), rng)
+        self.bias = init.zeros((out_features,)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": relu,
+    "tanh": tanh,
+}
+
+
+class MLP(Module):
+    """Multi-layer perceptron over a list of layer sizes.
+
+    ``sizes = [in, h1, ..., out]``; the activation is applied between layers
+    but not after the last one.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator | int | None = None,
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ConfigError("MLP needs at least an input and an output size")
+        if activation not in ACTIVATIONS:
+            raise ConfigError(f"unknown activation {activation!r}; choose from {sorted(ACTIVATIONS)}")
+        rng = rng_mod.ensure_rng(rng)
+        self.layers = ModuleList([Linear(a, b, rng) for a, b in zip(sizes[:-1], sizes[1:])])
+        self.activation = ACTIVATIONS[activation]
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i != last:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | int | None = None,
+        std: float = 0.05,
+    ) -> None:
+        super().__init__()
+        rng = rng_mod.ensure_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = init.normal((num_embeddings, embedding_dim), rng, std=std)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        flat = embedding_lookup(self.weight, ids.reshape(-1))
+        return flat.reshape(*ids.shape, self.embedding_dim)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = init.ones((dim,))
+        self.beta = init.zeros((dim,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        from repro.tensor import sqrt as sqrt_op
+
+        normed = centered / sqrt_op(var + self.eps)
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout module; a no-op in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng_mod.ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_op(x, self.p, self._rng, training=self.training)

@@ -1,0 +1,27 @@
+"""Online serving: graph reasoning, user targeting, feedback, EGL facade."""
+
+from repro.online.reasoning import EntityView, ExpansionView, GraphReasoner
+from repro.online.targeting import TargetingResult, UserTargeting
+from repro.online.feedback import FeedbackRecorder
+from repro.online.system import EGLSystem, RefreshReport
+from repro.online.explain import UserExplanation, explain_expansion, explain_targeting, explain_user
+from repro.online.api import ApiResponse, EGLService, ExpandRequest, TargetRequest
+
+__all__ = [
+    "EntityView",
+    "ExpansionView",
+    "GraphReasoner",
+    "TargetingResult",
+    "UserTargeting",
+    "FeedbackRecorder",
+    "EGLSystem",
+    "RefreshReport",
+    "UserExplanation",
+    "explain_expansion",
+    "explain_targeting",
+    "explain_user",
+    "ApiResponse",
+    "EGLService",
+    "ExpandRequest",
+    "TargetRequest",
+]

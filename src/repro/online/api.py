@@ -1,0 +1,133 @@
+"""Serving API facade: JSON-serialisable request/response types.
+
+A deployment would put the online stage behind an RPC/HTTP layer. This
+module is that layer minus the transport: typed requests, dict-serialisable
+responses, input validation and error envelopes — so a thin HTTP wrapper
+(or a test) can drive :class:`repro.online.EGLSystem` without touching its
+Python objects.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ReproError
+from repro.online.system import EGLSystem
+
+
+@dataclass
+class ExpandRequest:
+    phrases: list[str]
+    depth: int = 2
+    min_score: float = 0.0
+    max_entities: int = 25
+
+
+@dataclass
+class TargetRequest:
+    entity_ids: list[int]
+    k: int = 50
+    weights: list[float] | None = None
+
+
+@dataclass
+class ApiResponse:
+    """Uniform envelope: ``ok`` + payload or error message."""
+
+    ok: bool
+    elapsed_ms: float
+    payload: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class EGLService:
+    """Request-level wrapper over a prepared :class:`EGLSystem`."""
+
+    def __init__(self, system: EGLSystem) -> None:
+        self.system = system
+
+    # ------------------------------------------------------------------
+    def _run(self, fn) -> ApiResponse:
+        start = time.perf_counter()
+        try:
+            payload = fn()
+        except ReproError as error:
+            return ApiResponse(
+                ok=False,
+                elapsed_ms=(time.perf_counter() - start) * 1000,
+                error=str(error),
+            )
+        return ApiResponse(
+            ok=True, elapsed_ms=(time.perf_counter() - start) * 1000, payload=payload
+        )
+
+    # ------------------------------------------------------------------
+    def expand(self, request: ExpandRequest) -> ApiResponse:
+        """Phrase → k-hop subgraph, as plain dicts (Fig. 6 steps 1-2)."""
+
+        def run() -> dict:
+            view = self.system.expand(
+                request.phrases, depth=request.depth, min_score=request.min_score
+            )
+            return {
+                "seeds": view.seeds,
+                "entities": [
+                    {
+                        "entity_id": e.entity_id,
+                        "name": e.name,
+                        "type": e.type_name,
+                        "hop": e.hop,
+                        "score": round(e.score, 6),
+                        "path": e.path,
+                    }
+                    for e in view.top(request.max_entities)
+                ],
+            }
+
+        return self._run(run)
+
+    def target(self, request: TargetRequest) -> ApiResponse:
+        """Chosen entities → exported audience (Fig. 6 step 3)."""
+
+        def run() -> dict:
+            result = self.system.target_users(
+                request.entity_ids, k=request.k, weights=request.weights
+            )
+            return {
+                "entity_ids": result.entity_ids,
+                "users": [
+                    {"user_id": u.user_id, "score": round(u.score, 6)}
+                    for u in result.users
+                ],
+            }
+
+        return self._run(run)
+
+    def record_feedback(self, seed_entity_id: int, chosen_entity_ids: list[int]) -> ApiResponse:
+        """Marketer kept these entities (§II-B feedback loop)."""
+
+        def run() -> dict:
+            self.system.record_choice(seed_entity_id, chosen_entity_ids)
+            return {"recorded": len(self.system.feedback)}
+
+        return self._run(run)
+
+    def health(self) -> ApiResponse:
+        """Liveness + which offline artefacts are loaded."""
+
+        def run() -> dict:
+            weeks = len(self.system.pipeline.weekly_runs)
+            has_prefs = self.system._preference_store is not None
+            store_stats = self.system.store.stats() if self.system.store else None
+            return {
+                "weekly_runs": weeks,
+                "preferences_ready": has_prefs,
+                "ensemble_ready": self.system.pipeline.ensemble is not None,
+                "store": store_stats,
+            }
+
+        return self._run(run)

@@ -1,0 +1,44 @@
+"""Marketer feedback loop (paper §II-B Remark).
+
+Relations the marketers select during operation are recorded as
+high-confidence relations and fed back into the next weekly TRMP training
+run as extra positive supervision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FeedbackRecorder:
+    """Accumulates marketer-confirmed relations between weekly refreshes."""
+
+    _pairs: set[tuple[int, int]] = field(default_factory=set)
+
+    def record_relation(self, u: int, v: int) -> None:
+        if u == v:
+            return
+        self._pairs.add((min(int(u), int(v)), max(int(u), int(v))))
+
+    def record_expansion_choice(self, seed_id: int, chosen_ids: list[int]) -> None:
+        """A marketer keeping entity ``c`` for seed ``s`` confirms ⟨s, c⟩."""
+        for c in chosen_ids:
+            self.record_relation(seed_id, c)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def pairs(self) -> np.ndarray:
+        """Confirmed relations as an ``(n, 2)`` array (empty-safe)."""
+        if not self._pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(sorted(self._pairs), dtype=np.int64)
+
+    def drain(self) -> np.ndarray:
+        """Return all recorded pairs and reset (called by the weekly job)."""
+        out = self.pairs()
+        self._pairs.clear()
+        return out

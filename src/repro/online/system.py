@@ -1,0 +1,177 @@
+"""EGLSystem — the hybrid offline/online facade (paper Fig. 2).
+
+Offline cadence (§II-B Remark):
+
+* ``weekly_refresh(events)`` — run TRMP on the week's logs, commit the mined
+  entity graph to the Geabase-style :class:`~repro.graph.GraphStore` as a
+  new version, retrain the ensemble over trailing snapshots;
+* ``daily_preference_refresh(events)`` — recompute user embeddings and the
+  preference index from the last 30 days of behavior.
+
+Online path: ``expand`` (entity graph reasoning with marketer-controlled
+depth) → marketer chooses entities (optionally recorded as feedback) →
+``target_users`` (top-K by average preference).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.behavior import BehaviorEvent
+from repro.datasets.world import World
+from repro.errors import NotFittedError
+from repro.graph.storage import GraphStore
+from repro.online.feedback import FeedbackRecorder
+from repro.online.reasoning import ExpansionView, GraphReasoner
+from repro.online.targeting import TargetingResult, UserTargeting
+from repro.preference.store import PreferenceStore
+from repro.trmp.pipeline import TRMPConfig, TRMPipeline, WeeklyRun
+
+
+@dataclass
+class RefreshReport:
+    """Summary of one weekly offline refresh."""
+
+    week: int
+    graph_version: int
+    num_relations: int
+    ensemble_trained: bool
+    elapsed_seconds: float
+
+
+class EGLSystem:
+    """End-to-end Entity Graph Learning system over a synthetic world."""
+
+    def __init__(
+        self,
+        world: World,
+        config: TRMPConfig | None = None,
+        store_path: str | Path | None = None,
+        preference_head_size: int = 200,
+    ) -> None:
+        self.world = world
+        self.pipeline = TRMPipeline(world, config)
+        self.feedback = FeedbackRecorder()
+        self.store = (
+            GraphStore(store_path, num_nodes=world.num_entities)
+            if store_path is not None
+            else None
+        )
+        self.preference_head_size = preference_head_size
+        self._preference_store: PreferenceStore | None = None
+        self._reasoner: GraphReasoner | None = None
+        self._targeting: UserTargeting | None = None
+
+    # ------------------------------------------------------------------
+    # Offline stage
+    # ------------------------------------------------------------------
+    def weekly_refresh(self, events: list[BehaviorEvent]) -> RefreshReport:
+        """Run TRMP on a weekly data drop and publish the new entity graph."""
+        start = time.perf_counter()
+        feedback_pairs = self.feedback.drain()
+        run: WeeklyRun = self.pipeline.run_week(events, feedback_pairs=feedback_pairs)
+
+        version = -1
+        if self.store is not None:
+            lo, hi = run.ranked_graph.canonical_pairs()
+            self.store.put_edges(
+                list(zip(lo.tolist(), hi.tolist())),
+                run.ranked_graph.weight.tolist(),
+                run.ranked_graph.relation.tolist(),
+            )
+            version = self.store.commit_version(tag=f"week-{run.week}")
+
+        ensemble_trained = False
+        if len(self.pipeline.weekly_runs) >= 2:
+            self.pipeline.train_ensemble()
+            ensemble_trained = True
+
+        self._reasoner = None  # graph changed; rebuild lazily
+        return RefreshReport(
+            week=run.week,
+            graph_version=version,
+            num_relations=run.ranked_graph.num_edges,
+            ensemble_trained=ensemble_trained,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def daily_preference_refresh(self, events: list[BehaviorEvent]) -> int:
+        """Recompute user embeddings/preferences; returns #covered users."""
+        embeddings = self.pipeline.entity_embeddings()
+        sequences = self.pipeline.extractor.extract_sequences(events)
+        store = PreferenceStore(embeddings, head_size=self.preference_head_size)
+        store.build(sequences, self.world.num_users)
+        self._preference_store = store
+        self._targeting = UserTargeting(store)
+        return int(store.covered_users.sum())
+
+    # ------------------------------------------------------------------
+    # Online stage
+    # ------------------------------------------------------------------
+    @property
+    def reasoner(self) -> GraphReasoner:
+        if self._reasoner is None:
+            graph = (
+                self.store.load_version()
+                if self.store is not None and self.store.latest_version()
+                else self.pipeline.latest_graph()
+            )
+            self._reasoner = GraphReasoner(
+                graph,
+                self.pipeline.entity_dict,
+                semantic_encoder=self.pipeline.semantic_encoder,
+                e_semantic=self.pipeline.e_semantic,
+            )
+        return self._reasoner
+
+    def expand(self, phrases: list[str], depth: int = 2, min_score: float = 0.0) -> ExpansionView:
+        """Marketer request: show the k-hop subgraph around the phrases."""
+        return self.reasoner.expand(phrases, depth=depth, min_score=min_score)
+
+    def record_choice(self, seed_entity_id: int, chosen_entity_ids: list[int]) -> None:
+        """Marketer kept these entities — high-confidence feedback (§II-B)."""
+        self.feedback.record_expansion_choice(seed_entity_id, chosen_entity_ids)
+
+    def target_users(
+        self,
+        entity_ids: list[int],
+        k: int = 50,
+        weights: list[float] | None = None,
+    ) -> TargetingResult:
+        """Export the top-K users for the chosen entities (Fig. 6 step 3)."""
+        if self._targeting is None:
+            raise NotFittedError(
+                "daily_preference_refresh must run before targeting users"
+            )
+        return self._targeting.target(entity_ids, k, weights=weights)
+
+    def target_users_for_phrases(
+        self,
+        phrases: list[str],
+        depth: int = 2,
+        k: int = 50,
+        min_score: float = 0.0,
+        max_entities: int | None = 15,
+    ) -> tuple[ExpansionView, TargetingResult]:
+        """The full cold-start flow: phrases → expansion → top-K users.
+
+        The expansion's relevance scores weight each entity's contribution,
+        and only the ``max_entities`` most relevant entities are used —
+        mirroring a marketer keeping the best suggestions rather than the
+        whole k-hop frontier.
+        """
+        view = self.expand(phrases, depth=depth, min_score=min_score)
+        chosen = view.entities if max_entities is None else view.entities[:max_entities]
+        entity_ids = [e.entity_id for e in chosen]
+        weights = [e.score for e in chosen]
+        return view, self.target_users(entity_ids, k=k, weights=weights)
+
+    @property
+    def preference_store(self) -> PreferenceStore:
+        if self._preference_store is None:
+            raise NotFittedError("daily_preference_refresh has not run yet")
+        return self._preference_store

@@ -1,0 +1,170 @@
+"""Pre-computed user-entity preference store (the daily offline product).
+
+The online stage must answer "top-K users for these entities" in
+milliseconds, so preferences are pre-computed: per entity, users are ranked
+by ``r_u · h_e`` and the head of each ranking is kept in an inverted index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+from repro.preference.user_embedding import user_embedding_matrix
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+@dataclass
+class UserScore:
+    user_id: int
+    score: float
+
+
+class PreferenceStore:
+    """Inverted entity → ranked-users index plus dense score fallback."""
+
+    def __init__(
+        self,
+        entity_embeddings: np.ndarray,
+        head_size: int = 200,
+        normalize: bool = True,
+        direct_weight: float = 25.0,
+    ) -> None:
+        if head_size < 1:
+            raise ConfigError("head_size must be >= 1")
+        if direct_weight < 0:
+            raise ConfigError("direct_weight must be >= 0")
+        embeddings = np.asarray(entity_embeddings, dtype=np.float64)
+        if normalize:
+            # Unit-normalise h_e so popular entities' larger norms do not
+            # dominate every user's preference ranking.
+            norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+            embeddings = embeddings / np.maximum(norms, 1e-12)
+        self.entity_embeddings = embeddings
+        self.head_size = head_size
+        #: Preference blends two signals: the embedding dot (Eq. 7 —
+        #: generalises to entities the user never touched) and the user's
+        #: direct interaction frequency with the entity (exact preference
+        #: evidence). ``direct_weight`` scales the latter.
+        self.direct_weight = direct_weight
+        self._user_matrix: np.ndarray | None = None
+        self._covered: np.ndarray | None = None
+        self._interaction: np.ndarray | None = None  # (users, entities) freq
+        self._heads: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        sequences: dict[int, UserEntitySequence],
+        num_users: int,
+    ) -> "PreferenceStore":
+        """The daily refresh: recompute user embeddings and head rankings."""
+        self._user_matrix, self._covered = user_embedding_matrix(
+            self.entity_embeddings, sequences, num_users
+        )
+        num_entities = len(self.entity_embeddings)
+        self._interaction = np.zeros((num_users, num_entities))
+        for user_id, seq in sequences.items():
+            if len(seq) == 0:
+                continue
+            ids = np.asarray(seq.entity_ids, dtype=np.int64)
+            np.add.at(self._interaction[user_id], ids, 1.0 / len(ids))
+        self._heads = {}
+        return self
+
+    def update_user(self, sequence: UserEntitySequence) -> None:
+        """Incremental daily refresh of a single user.
+
+        Recomputes the user's embedding and interaction row in place and
+        invalidates only the cached entity heads (they may rank this user
+        differently now). Cheaper than a full :meth:`build` when only a few
+        users had new behavior.
+        """
+        self._require_built()
+        user_id = sequence.user_id
+        if not 0 <= user_id < len(self._user_matrix):
+            raise ConfigError(f"user {user_id} out of range")
+        if len(sequence) == 0:
+            self._user_matrix[user_id] = 0.0
+            self._interaction[user_id] = 0.0
+            self._covered[user_id] = False
+        else:
+            from repro.preference.user_embedding import user_embedding
+
+            self._user_matrix[user_id] = user_embedding(self.entity_embeddings, sequence)
+            ids = np.asarray(sequence.entity_ids, dtype=np.int64)
+            self._interaction[user_id] = 0.0
+            np.add.at(self._interaction[user_id], ids, 1.0 / len(ids))
+            self._covered[user_id] = True
+        self._heads.clear()
+
+    def _require_built(self) -> None:
+        if self._user_matrix is None:
+            raise NotFittedError("PreferenceStore.build has not been called")
+
+    # ------------------------------------------------------------------
+    def score_entity(self, entity_id: int) -> np.ndarray:
+        """All users' preference scores for one entity (uncovered = -inf)."""
+        self._require_built()
+        scores = self._user_matrix @ self.entity_embeddings[entity_id]
+        if self.direct_weight:
+            scores = scores + self.direct_weight * self._interaction[:, entity_id]
+        return np.where(self._covered, scores, -np.inf)
+
+    def top_users_for_entity(self, entity_id: int, k: int) -> list[UserScore]:
+        """Head of the entity's user ranking (cached up to ``head_size``)."""
+        self._require_built()
+        if entity_id not in self._heads:
+            scores = self.score_entity(entity_id)
+            head = min(self.head_size, len(scores))
+            top = np.argpartition(-scores, head - 1)[:head]
+            self._heads[entity_id] = top[np.argsort(-scores[top])]
+        ranked = self._heads[entity_id][:k]
+        scores = self.score_entity(entity_id)
+        return [UserScore(int(u), float(scores[u])) for u in ranked if np.isfinite(scores[u])]
+
+    def top_users_for_entities(
+        self,
+        entity_ids: list[int],
+        k: int,
+        weights: np.ndarray | None = None,
+    ) -> list[UserScore]:
+        """Top-K users by *average* preference over the chosen entities.
+
+        This is the paper's final selection rule: "EGL System only keeps
+        top K users with the highest average similarities". ``weights``
+        (e.g. expansion relevance scores) turn the plain average into a
+        relevance-weighted one.
+        """
+        self._require_built()
+        if not entity_ids:
+            raise ConfigError("need at least one entity to target users")
+        ids = np.asarray(entity_ids, dtype=np.int64)
+        per_entity = self._user_matrix @ self.entity_embeddings[ids].T
+        if self.direct_weight:
+            per_entity = per_entity + self.direct_weight * self._interaction[:, ids]
+        if weights is not None:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (len(ids),):
+                raise ConfigError("weights must align with entity_ids")
+            w = w / max(w.sum(), 1e-12)
+            scores = per_entity @ w
+        else:
+            scores = per_entity.mean(axis=1)
+        scores = np.where(self._covered, scores, -np.inf)
+        k = min(k, int(self._covered.sum()))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [UserScore(int(u), float(scores[u])) for u in top]
+
+    @property
+    def user_matrix(self) -> np.ndarray:
+        self._require_built()
+        return self._user_matrix
+
+    @property
+    def covered_users(self) -> np.ndarray:
+        self._require_built()
+        return self._covered

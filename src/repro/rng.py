@@ -1,0 +1,33 @@
+"""Seeded random-number helpers.
+
+All stochastic components in the library accept either an integer seed or a
+:class:`numpy.random.Generator`. Routing everything through :func:`ensure_rng`
+keeps experiments reproducible end to end: the same seed always yields the
+same world, the same training batches and the same benchmark rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default seed used by examples and benchmarks.
+DEFAULT_SEED = 20230419
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    Accepts ``None`` (fresh default seed), an ``int`` seed, or an existing
+    generator (returned unchanged so callers can share a stream).
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(int(seed_or_rng))
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators."""
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,24 @@
+"""Online A/B simulation: services, conversion model, baselines, harness."""
+
+from repro.simulation.services import Service, default_services, make_service
+from repro.simulation.conversion import ConversionModel, ExposureOutcome
+from repro.simulation.baselines import (
+    BaselineTargetingResult,
+    LookAlikeTargeting,
+    RuleBasedTargeting,
+)
+from repro.simulation.ab_test import ABTestHarness, ABTestRow, collect_seed_users
+
+__all__ = [
+    "Service",
+    "default_services",
+    "make_service",
+    "ConversionModel",
+    "ExposureOutcome",
+    "RuleBasedTargeting",
+    "LookAlikeTargeting",
+    "BaselineTargetingResult",
+    "ABTestHarness",
+    "ABTestRow",
+    "collect_seed_users",
+]

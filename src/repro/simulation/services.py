@@ -1,0 +1,98 @@
+"""Synthetic services for the online A/B experiments (Table III).
+
+Each service has a latent topic profile (what kind of users would convert),
+a handful of marketer phrases (what gets typed into the EGL search box) and
+a base conversion rate. The five defaults mirror the paper's service mix
+(Railway, Dicos fast food, Cosmetics, Dessert, Women Football) mapped onto
+the synthetic world's topics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.world import World
+from repro.errors import ConfigError
+from repro.rng import ensure_rng
+
+
+@dataclass
+class Service:
+    """A promotable service."""
+
+    name: str
+    primary_topic: int
+    profile: np.ndarray  # (num_topics,) non-negative, sums to 1
+    phrases: list[str]  # what the marketer types
+    base_conversion_rate: float  # population-average conversion if exposed at random
+
+    def user_affinity(self, world: World) -> np.ndarray:
+        """Latent per-user affinity in [0, 1]-ish (interest · profile)."""
+        raw = world.user_interests @ self.profile
+        return raw / max(raw.max(), 1e-12)
+
+
+#: (analogue name, paper service, base CVR roughly matching Table III rows)
+_DEFAULT_SERVICE_SPECS = [
+    ("railway-tickets", "Railway", 0.20),
+    ("fastfood-coupons", "Dicos", 0.14),
+    ("cosmetics-sale", "Cosmetics", 0.17),
+    ("dessert-vouchers", "Dessert", 0.28),
+    ("women-football-pass", "Women Football", 0.08),
+]
+
+
+def default_services(world: World, rng: np.random.Generator | int | None = None) -> list[Service]:
+    """Five services spread over distinct topics of the world."""
+    rng = ensure_rng(rng)
+    services = []
+    topics = rng.choice(world.num_topics, size=len(_DEFAULT_SERVICE_SPECS), replace=False)
+    for (name, paper_name, base_cvr), topic in zip(_DEFAULT_SERVICE_SPECS, topics):
+        services.append(
+            make_service(world, name, int(topic), base_cvr, rng, paper_name=paper_name)
+        )
+    return services
+
+
+def make_service(
+    world: World,
+    name: str,
+    topic: int,
+    base_conversion_rate: float,
+    rng: np.random.Generator | int | None = None,
+    num_phrases: int = 2,
+    paper_name: str | None = None,
+) -> Service:
+    """Build a service around one topic, with entity names as phrases."""
+    if not 0 <= topic < world.num_topics:
+        raise ConfigError(f"topic {topic} out of range")
+    if not 0 < base_conversion_rate < 1:
+        raise ConfigError("base_conversion_rate must be in (0, 1)")
+    rng = ensure_rng(rng)
+    profile = np.full(world.num_topics, 0.02)
+    profile[topic] = 1.0
+    profile = profile / profile.sum()
+
+    topic_entities = [e for e in world.entities if e.primary_topic == topic]
+    if not topic_entities:
+        raise ConfigError(f"world has no entities for topic {topic}")
+    # Marketers describe services with well-known terms: sample phrases
+    # proportionally to entity popularity within the topic.
+    pops = np.array([e.popularity for e in topic_entities])
+    picks = rng.choice(
+        len(topic_entities),
+        size=min(num_phrases, len(topic_entities)),
+        replace=False,
+        p=pops / pops.sum(),
+    )
+    phrases = [topic_entities[int(i)].name for i in picks]
+    display = f"{name}" if paper_name is None else f"{name} ({paper_name})"
+    return Service(
+        name=display,
+        primary_topic=topic,
+        profile=profile,
+        phrases=phrases,
+        base_conversion_rate=base_conversion_rate,
+    )

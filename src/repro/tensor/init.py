@@ -1,0 +1,53 @@
+"""Parameter initialisers.
+
+Each function returns a trainable :class:`repro.tensor.Tensor`. They take an
+explicit :class:`numpy.random.Generator` so model construction is fully
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def zeros(shape: tuple[int, ...]) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def ones(shape: tuple[int, ...]) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=True)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform init for 2-D weights (fan_in, fan_out)."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> Tensor:
+    """He init suited to ReLU nonlinearities."""
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive

@@ -1,0 +1,44 @@
+"""Text substrate: vocab, tokenizer, Entity Dict, NER, sequence extraction."""
+
+from repro.text.vocab import CLS_TOKEN, MASK_TOKEN, PAD_TOKEN, UNK_TOKEN, Vocab
+from repro.text.tokenizer import WhitespaceTokenizer, encode_batch
+from repro.text.entity_dict import EntityDict, EntityEntry
+from repro.text.ner import (
+    NUM_TAGS,
+    TAG_B,
+    TAG_I,
+    TAG_O,
+    NERTagger,
+    NERTrainReport,
+    evaluate_token_accuracy,
+    extract_entities,
+    make_ner_examples,
+    spans_from_tags,
+    train_ner,
+)
+from repro.text.sequence_extractor import EntitySequenceExtractor, UserEntitySequence
+
+__all__ = [
+    "Vocab",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "MASK_TOKEN",
+    "CLS_TOKEN",
+    "WhitespaceTokenizer",
+    "encode_batch",
+    "EntityDict",
+    "EntityEntry",
+    "NERTagger",
+    "NERTrainReport",
+    "train_ner",
+    "evaluate_token_accuracy",
+    "extract_entities",
+    "make_ner_examples",
+    "spans_from_tags",
+    "TAG_O",
+    "TAG_B",
+    "TAG_I",
+    "NUM_TAGS",
+    "EntitySequenceExtractor",
+    "UserEntitySequence",
+]

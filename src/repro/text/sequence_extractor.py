@@ -1,0 +1,96 @@
+"""Entity sequence extractor (paper §III-A, Fig. 3).
+
+Collects a window of user behavior events (default 30 days), extracts the
+entities mentioned in each event, and concatenates them chronologically into
+one entity sequence per user. Two extraction backends:
+
+* ``"dictionary"`` — longest-match Entity Dict scan (fast; the default for
+  pipeline runs and benchmarks);
+* ``"ner"`` — the trained transformer+CRF tagger followed by Entity Dict
+  alignment (the faithful BertCRF path; used by the NER experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.behavior import BehaviorEvent
+from repro.errors import ConfigError
+from repro.text.entity_dict import EntityDict
+from repro.text.ner import NERTagger, extract_entities
+from repro.text.vocab import Vocab
+
+
+@dataclass
+class UserEntitySequence:
+    """Chronological entity ids a user interacted with in the window."""
+
+    user_id: int
+    entity_ids: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entity_ids)
+
+
+class EntitySequenceExtractor:
+    """Turn raw behavior events into per-user entity sequences."""
+
+    def __init__(
+        self,
+        entity_dict: EntityDict,
+        backend: str = "dictionary",
+        tagger: NERTagger | None = None,
+        vocab: Vocab | None = None,
+        window_days: int = 30,
+    ) -> None:
+        if backend not in ("dictionary", "ner"):
+            raise ConfigError(f"unknown extraction backend {backend!r}")
+        if backend == "ner" and (tagger is None or vocab is None):
+            raise ConfigError("the 'ner' backend needs a trained tagger and a vocab")
+        self.entity_dict = entity_dict
+        self.backend = backend
+        self.tagger = tagger
+        self.vocab = vocab
+        self.window_days = window_days
+
+    # ------------------------------------------------------------------
+    def extract_event(self, event: BehaviorEvent) -> list[int]:
+        """Entity ids mentioned in one event, in token order."""
+        tokens = event.tokens
+        if self.backend == "dictionary":
+            return [entry.entity_id for _, _, entry in self.entity_dict.scan(tokens)]
+        entries = extract_entities(self.tagger, self.vocab, tokens, self.entity_dict)
+        return [entry.entity_id for entry in entries]
+
+    def extract_sequences(
+        self,
+        events: list[BehaviorEvent],
+        as_of_day: int | None = None,
+    ) -> dict[int, UserEntitySequence]:
+        """Per-user chronological entity sequences within the day window.
+
+        ``as_of_day`` defaults to the max day present; only events in
+        ``(as_of_day - window_days, as_of_day]`` are used.
+        """
+        if not events:
+            return {}
+        if as_of_day is None:
+            as_of_day = max(e.day for e in events)
+        lo = as_of_day - self.window_days
+
+        ordered = sorted(events, key=lambda e: (e.day, e.user_id))
+        sequences: dict[int, UserEntitySequence] = {}
+        for event in ordered:
+            if not (lo < event.day <= as_of_day):
+                continue
+            seq = sequences.setdefault(event.user_id, UserEntitySequence(event.user_id))
+            seq.entity_ids.extend(self.extract_event(event))
+        return sequences
+
+    def corpus_sequences(self, events: list[BehaviorEvent]) -> list[list[int]]:
+        """All user sequences as plain id lists (skip-gram training input)."""
+        return [
+            seq.entity_ids
+            for seq in self.extract_sequences(events).values()
+            if len(seq) >= 2
+        ]

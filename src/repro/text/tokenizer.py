@@ -1,0 +1,47 @@
+"""Tokenisation and batch encoding for the text models."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.text.vocab import Vocab
+
+
+class WhitespaceTokenizer:
+    """Lowercasing whitespace tokenizer (the synthetic corpus is pre-clean).
+
+    Punctuation is stripped so that real-world-ish inputs ("NBA!" →
+    "nba") still hit the Entity Dict.
+    """
+
+    _CLEAN = re.compile(r"[^0-9a-z一-鿿 ]+")
+
+    def tokenize(self, text: str) -> list[str]:
+        cleaned = self._CLEAN.sub(" ", text.lower())
+        return cleaned.split()
+
+
+def encode_batch(
+    token_lists: list[list[str]],
+    vocab: Vocab,
+    max_len: int,
+    add_cls: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad/truncate token lists into ``(ids, mask)`` arrays.
+
+    ``mask`` is boolean with ``True`` on real tokens. With ``add_cls`` a
+    ``[CLS]`` token is prepended (used by the semantic encoder's pooling).
+    """
+    batch = len(token_lists)
+    ids = np.full((batch, max_len), vocab.pad_id, dtype=np.int64)
+    mask = np.zeros((batch, max_len), dtype=bool)
+    for row, tokens in enumerate(token_lists):
+        encoded = vocab.encode(tokens)
+        if add_cls:
+            encoded = [vocab.cls_id] + encoded
+        encoded = encoded[:max_len]
+        ids[row, : len(encoded)] = encoded
+        mask[row, : len(encoded)] = True
+    return ids, mask

@@ -1,0 +1,81 @@
+"""Token vocabulary with the special tokens used by the text models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.errors import VocabularyError
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+MASK_TOKEN = "[MASK]"
+CLS_TOKEN = "[CLS]"
+
+SPECIAL_TOKENS = [PAD_TOKEN, UNK_TOKEN, MASK_TOKEN, CLS_TOKEN]
+
+
+class Vocab:
+    """Bidirectional token ↔ id mapping.
+
+    Ids 0..3 are reserved for ``[PAD]``, ``[UNK]``, ``[MASK]``, ``[CLS]``.
+    """
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        self._id_to_token: list[str] = list(SPECIAL_TOKENS)
+        seen = set(self._id_to_token)
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                self._id_to_token.append(token)
+        self._token_to_id = {t: i for i, t in enumerate(self._id_to_token)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, corpus: Iterable[list[str]], min_count: int = 1) -> "Vocab":
+        """Build from tokenised documents, dropping tokens rarer than ``min_count``."""
+        counts: Counter[str] = Counter()
+        for tokens in corpus:
+            counts.update(tokens)
+        kept = [t for t, c in sorted(counts.items()) if c >= min_count]
+        return cls(kept)
+
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    @property
+    def mask_id(self) -> int:
+        return 2
+
+    @property
+    def cls_id(self) -> int:
+        return 3
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def encode(self, tokens: list[str]) -> list[int]:
+        unk = self.unk_id
+        return [self._token_to_id.get(t, unk) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        out = []
+        for i in ids:
+            if not 0 <= int(i) < len(self._id_to_token):
+                raise VocabularyError(f"token id {i} out of range")
+            out.append(self._id_to_token[int(i)])
+        return out
+
+    def token_id(self, token: str) -> int:
+        if token not in self._token_to_id:
+            raise VocabularyError(f"token {token!r} not in vocabulary")
+        return self._token_to_id[token]

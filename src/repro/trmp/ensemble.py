@@ -1,0 +1,118 @@
+"""TRMP Stage III — the ensemble over weekly ALPC snapshots (§III-B.3).
+
+Upstream data drifts week to week, so single ALPC models fluctuate
+(Fig. 5(b)). The ensemble extracts the entity embedding ``z_{e,t_i}`` from
+each weekly snapshot, concatenates them per entity (Eq. 6), and feeds the
+pair's snapshot tokens through a multi-head attention encoder + MLP trained
+with cross-entropy. The concatenated embedding ``h_e`` is what the user
+entity preference module consumes downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.datasets.splits import LinkPredictionSplit
+from repro.errors import ConfigError, NotFittedError
+from repro.nn import MLP, Linear, Module, MultiHeadAttention
+from repro.nn.functional import binary_cross_entropy_with_logits
+from repro.tensor import Adam, Tensor, no_grad, sigmoid
+
+
+@dataclass
+class EnsembleConfig:
+    model_dim: int = 32
+    num_heads: int = 2
+    epochs: int = 25
+    lr: float = 1e-2
+    batch_pairs: int = 2048
+    seed: int = 0
+
+
+class EnsembleModel(Module):
+    """Attention encoder over the pair's ``2 × num_snapshots`` tokens."""
+
+    def __init__(self, snapshot_dim: int, config: EnsembleConfig) -> None:
+        super().__init__()
+        rng = rng_mod.ensure_rng(config.seed)
+        self.config = config
+        self.token_proj = Linear(snapshot_dim, config.model_dim, rng)
+        self.attention = MultiHeadAttention(config.model_dim, config.num_heads, rng)
+        self.head = MLP([config.model_dim, config.model_dim, 1], rng=rng)
+
+    def forward(self, pair_tokens: Tensor) -> Tensor:
+        """``pair_tokens``: (batch, 2·S, snapshot_dim) → logits (batch,)."""
+        tokens = self.token_proj(pair_tokens)
+        attended = self.attention(tokens)
+        pooled = attended.mean(axis=1)
+        return self.head(pooled).reshape(pair_tokens.shape[0])
+
+
+class EnsembleLinkPredictor:
+    """Fit the ensemble on stacked weekly snapshot embeddings."""
+
+    name = "TRMP-Ensemble"
+
+    def __init__(self, config: EnsembleConfig | None = None) -> None:
+        self.config = config or EnsembleConfig()
+        self.model: EnsembleModel | None = None
+        self._snapshots: np.ndarray | None = None  # (S, N, d)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        snapshots: list[np.ndarray],
+        split: LinkPredictionSplit,
+    ) -> "EnsembleLinkPredictor":
+        if not snapshots:
+            raise ConfigError("ensemble needs at least one snapshot")
+        stacked = np.stack([np.asarray(s, dtype=np.float64) for s in snapshots])
+        if stacked.ndim != 3:
+            raise ConfigError("snapshots must be (num_nodes, dim) matrices")
+        self._snapshots = stacked
+        cfg = self.config
+        rng = rng_mod.ensure_rng(cfg.seed + 3)
+        self.model = EnsembleModel(stacked.shape[2], cfg)
+        optimizer = Adam(self.model.parameters(), lr=cfg.lr)
+
+        pairs, labels = split.train_pairs_and_labels()
+        for _ in range(cfg.epochs):
+            order = rng.permutation(len(pairs))
+            for start in range(0, len(order), cfg.batch_pairs):
+                idx = order[start : start + cfg.batch_pairs]
+                tokens = Tensor(self._pair_tokens(pairs[idx]))
+                optimizer.zero_grad()
+                logits = self.model(tokens)
+                loss = binary_cross_entropy_with_logits(logits, labels[idx])
+                loss.backward()
+                optimizer.clip_grad_norm(5.0)
+                optimizer.step()
+        return self
+
+    def _pair_tokens(self, pairs: np.ndarray) -> np.ndarray:
+        # (S, B, d) per endpoint, rearranged to (B, 2S, d).
+        u_tokens = self._snapshots[:, pairs[:, 0], :].transpose(1, 0, 2)
+        v_tokens = self._snapshots[:, pairs[:, 1], :].transpose(1, 0, 2)
+        return np.concatenate([u_tokens, v_tokens], axis=1)
+
+    # ------------------------------------------------------------------
+    def predict_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise NotFittedError("ensemble has not been fitted")
+        scores = []
+        batch = self.config.batch_pairs
+        with no_grad():
+            for start in range(0, len(pairs), batch):
+                tokens = Tensor(self._pair_tokens(pairs[start : start + batch]))
+                scores.append(sigmoid(self.model(tokens)).data)
+        return np.concatenate(scores)
+
+    def entity_embeddings(self) -> np.ndarray:
+        """``h_e``: per-entity concatenation of snapshot embeddings (Eq. 6)."""
+        if self._snapshots is None:
+            raise NotFittedError("ensemble has not been fitted")
+        s, n, d = self._snapshots.shape
+        return self._snapshots.transpose(1, 0, 2).reshape(n, s * d)

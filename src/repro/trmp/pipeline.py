@@ -1,0 +1,249 @@
+"""TRMP pipeline: candidate generation → ALPC ranking → ensemble (§III-B).
+
+One :class:`TRMPipeline` instance owns a world's static pieces (Entity Dict,
+semantic encoder — "BERT pre-trained on Wikipedia" is static in the paper
+too) and can process any number of weekly data drops. Each weekly run
+retrains the co-occurrence embeddings and the ALPC ranking model, mines an
+entity graph, and contributes a snapshot to the ensemble — exactly the
+weekly refresh cadence described in §II-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.behavior import BehaviorEvent
+from repro.datasets.splits import LinkPredictionSplit, make_link_prediction_split
+from repro.datasets.world import World
+from repro.embeddings.semantic import SemanticEncoderConfig, SemanticEntityEncoder
+from repro.embeddings.skipgram import SkipGramConfig, SkipGramModel
+from repro.errors import ConfigError, NotFittedError
+from repro.graph.entity_graph import RELATION_RANKED, EntityGraph
+from repro.rng import ensure_rng
+from repro.text.entity_dict import EntityDict
+from repro.text.sequence_extractor import EntitySequenceExtractor
+from repro.trmp.alpc import ALPCConfig, ALPCLinkPredictor
+from repro.trmp.candidate import (
+    CandidateGenerationConfig,
+    CandidateGenerator,
+    CandidateResult,
+)
+from repro.trmp.ensemble import EnsembleConfig, EnsembleLinkPredictor
+from repro.trmp.stable import DriftAwareReweighter
+
+
+@dataclass
+class TRMPConfig:
+    """End-to-end configuration of the three-stage procedure."""
+
+    skipgram: SkipGramConfig = field(default_factory=lambda: SkipGramConfig(epochs=12))
+    semantic: SemanticEncoderConfig = field(default_factory=SemanticEncoderConfig)
+    candidate: CandidateGenerationConfig = field(default_factory=CandidateGenerationConfig)
+    alpc: ALPCConfig = field(default_factory=ALPCConfig)
+    ensemble: EnsembleConfig = field(default_factory=EnsembleConfig)
+    test_fraction: float = 0.1
+    train_negative_ratio: float = 3.0
+    #: How many trailing weekly snapshots the ensemble fuses.
+    ensemble_window: int = 4
+    #: Relations must clear both endpoints' adaptive thresholds AND this
+    #: calibrated link probability to enter the published entity graph.
+    ranked_min_probability: float = 0.7
+    #: Enable drift-aware stable training (the paper's future-work
+    #: direction): training pairs are inverse-propensity weighted against
+    #: the week's topic drift. See :mod:`repro.trmp.stable`.
+    stable_reweighting: bool = False
+    seed: int = 0
+
+
+@dataclass
+class WeeklyRun:
+    """Everything produced by one weekly offline refresh."""
+
+    week: int
+    candidate: CandidateResult
+    split: LinkPredictionSplit
+    alpc: ALPCLinkPredictor
+    ranked_graph: EntityGraph
+
+    @property
+    def snapshot_embeddings(self) -> np.ndarray:
+        return self.alpc.node_embeddings
+
+
+class TRMPipeline:
+    """Drives the three TRMP stages over weekly behavior-log drops."""
+
+    def __init__(self, world: World, config: TRMPConfig | None = None) -> None:
+        self.world = world
+        self.config = config or TRMPConfig()
+        self.entity_dict = EntityDict.from_world(world)
+        self.extractor = EntitySequenceExtractor(self.entity_dict)
+        self._semantic_encoder: SemanticEntityEncoder | None = None
+        self._e_semantic: np.ndarray | None = None
+        self.weekly_runs: list[WeeklyRun] = []
+        self.ensemble: EnsembleLinkPredictor | None = None
+        self.reweighter = DriftAwareReweighter() if self.config.stable_reweighting else None
+
+    # ------------------------------------------------------------------
+    # Static pieces
+    # ------------------------------------------------------------------
+    @property
+    def semantic_encoder(self) -> SemanticEntityEncoder:
+        if self._semantic_encoder is None:
+            self._semantic_encoder = SemanticEntityEncoder(
+                self.world, self.config.semantic
+            ).pretrain()
+        return self._semantic_encoder
+
+    @property
+    def e_semantic(self) -> np.ndarray:
+        if self._e_semantic is None:
+            self._e_semantic = self.semantic_encoder.encode_entities()
+        return self._e_semantic
+
+    # ------------------------------------------------------------------
+    # Stage I
+    # ------------------------------------------------------------------
+    def build_cooccurrence(self, events: list[BehaviorEvent]) -> np.ndarray:
+        """Skip-gram over this drop's extracted entity sequences → ``E^Co``.
+
+        Also records per-entity occurrence counts (evidence for the
+        candidate stage's tail-entity gating).
+        """
+        sequences = self.extractor.corpus_sequences(events)
+        if not sequences:
+            raise ConfigError("no entity sequences extracted from the events")
+        counts = np.zeros(self.world.num_entities)
+        for seq in sequences:
+            np.add.at(counts, np.asarray(seq, dtype=np.int64), 1.0)
+        self._last_entity_counts = counts
+        model = SkipGramModel(self.world.num_entities, self.config.skipgram)
+        return model.fit(sequences).normalized_vectors()
+
+    def build_candidate(self, e_cooccurrence: np.ndarray) -> CandidateResult:
+        generator = CandidateGenerator(self.config.candidate)
+        counts = getattr(self, "_last_entity_counts", None)
+        return generator.generate(e_cooccurrence, self.e_semantic, cooccurrence_counts=counts)
+
+    # ------------------------------------------------------------------
+    # Stage II
+    # ------------------------------------------------------------------
+    def train_ranking(
+        self,
+        candidate: CandidateResult,
+        feedback_pairs: np.ndarray | None = None,
+        seed: int | None = None,
+    ) -> tuple[ALPCLinkPredictor, LinkPredictionSplit]:
+        """Train ALPC on the candidate graph's link-prediction split.
+
+        ``feedback_pairs`` are marketer-confirmed relations from the online
+        stage (§II-B Remark); they are appended to the training positives as
+        high-confidence supervision.
+        """
+        cfg = self.config
+        rng = ensure_rng(cfg.seed if seed is None else seed)
+        split = make_link_prediction_split(
+            candidate.graph,
+            test_fraction=cfg.test_fraction,
+            train_negative_ratio=cfg.train_negative_ratio,
+            rng=rng,
+        )
+        if feedback_pairs is not None and len(feedback_pairs):
+            extra = np.asarray(feedback_pairs, dtype=np.int64).reshape(-1, 2)
+            split.train_pos = np.concatenate([split.train_pos, extra])
+        alpc_cfg = ALPCConfig(**{**vars(cfg.alpc)})
+        if seed is not None:
+            alpc_cfg.seed = seed
+        alpc = ALPCLinkPredictor(alpc_cfg)
+
+        pair_weights = None
+        counts = getattr(self, "_last_entity_counts", None)
+        if self.reweighter is not None and counts is not None:
+            self.reweighter.update_reference(counts)
+            pairs, _ = split.train_pairs_and_labels()
+            pair_weights = self.reweighter.pair_weights(pairs, counts)
+
+        alpc.fit(split, candidate.node_features, self.e_semantic, pair_weights=pair_weights)
+        return alpc, split
+
+    def ranked_graph(
+        self, candidate: CandidateResult, alpc: ALPCLinkPredictor
+    ) -> EntityGraph:
+        """Stage II output graph: candidate relations accepted by ALPC.
+
+        Acceptance uses the two-sided adaptive threshold; edge weights are
+        the calibrated link probabilities.
+        """
+        lo, hi = candidate.graph.canonical_pairs()
+        pairs = np.stack([lo, hi], axis=1)
+        probabilities = alpc.predict_pairs(pairs)
+        accepted = alpc.accept_pairs(pairs)
+        accepted &= probabilities >= self.config.ranked_min_probability
+        # Floor on graph size: a weekly model that under-fits must not
+        # publish an empty graph — fall back to the highest-probability
+        # fifth of the candidates so the online stage keeps serving.
+        min_keep = max(1, len(pairs) // 5)
+        if accepted.sum() < min_keep:
+            top = np.argsort(-probabilities)[:min_keep]
+            accepted = np.zeros(len(pairs), dtype=bool)
+            accepted[top] = True
+        kept = pairs[accepted]
+        weights = probabilities[accepted]
+        return EntityGraph.from_edge_list(
+            candidate.graph.num_nodes,
+            [tuple(p) for p in kept],
+            weights,
+            [RELATION_RANKED] * len(kept),
+        )
+
+    # ------------------------------------------------------------------
+    # Weekly orchestration + Stage III
+    # ------------------------------------------------------------------
+    def run_week(
+        self,
+        events: list[BehaviorEvent],
+        feedback_pairs: np.ndarray | None = None,
+    ) -> WeeklyRun:
+        """One full offline refresh on a weekly data drop."""
+        week = len(self.weekly_runs)
+        e_co = self.build_cooccurrence(events)
+        candidate = self.build_candidate(e_co)
+        alpc, split = self.train_ranking(
+            candidate, feedback_pairs=feedback_pairs, seed=self.config.seed + week
+        )
+        run = WeeklyRun(
+            week=week,
+            candidate=candidate,
+            split=split,
+            alpc=alpc,
+            ranked_graph=self.ranked_graph(candidate, alpc),
+        )
+        self.weekly_runs.append(run)
+        return run
+
+    def train_ensemble(self) -> EnsembleLinkPredictor:
+        """Stage III: fuse the trailing weekly snapshots (Eq. 6)."""
+        if not self.weekly_runs:
+            raise NotFittedError("no weekly runs available for the ensemble")
+        window = self.weekly_runs[-self.config.ensemble_window :]
+        snapshots = [run.snapshot_embeddings for run in window]
+        ensemble = EnsembleLinkPredictor(self.config.ensemble)
+        ensemble.fit(snapshots, window[-1].split)
+        self.ensemble = ensemble
+        return ensemble
+
+    def entity_embeddings(self) -> np.ndarray:
+        """``h_e`` for the user-preference module: ensemble concat if
+        available, else the latest ALPC snapshot."""
+        if self.ensemble is not None:
+            return self.ensemble.entity_embeddings()
+        if self.weekly_runs:
+            return self.weekly_runs[-1].snapshot_embeddings
+        raise NotFittedError("pipeline has not processed any data yet")
+
+    def latest_graph(self) -> EntityGraph:
+        if not self.weekly_runs:
+            raise NotFittedError("pipeline has not processed any data yet")
+        return self.weekly_runs[-1].ranked_graph

@@ -1,0 +1,92 @@
+"""Drift-aware training weights (paper's future work: stable learning).
+
+The paper's conclusion flags ALPC's vulnerability to distribution shift and
+proposes stable learning / causal reweighting as future work. This module
+implements a practical first step in that direction: **inverse-propensity
+reweighting of training pairs against topic drift**.
+
+Weekly data drops over-represent whatever topics happen to be popular that
+week (the drift process of :mod:`repro.datasets.behavior`). Training pairs
+are therefore reweighted by how over-exposed their endpoint entities are
+relative to a reference (e.g. trailing-average) exposure distribution, so
+the ranking model optimises for the *stationary* relation structure rather
+than this week's fashion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class DriftReweighterConfig:
+    """Clamping keeps single pairs from dominating a batch."""
+
+    min_weight: float = 0.25
+    max_weight: float = 4.0
+    smoothing: float = 1.0  # additive smoothing of exposure counts
+
+    def validate(self) -> None:
+        if not 0 < self.min_weight <= 1 <= self.max_weight:
+            raise ConfigError("need min_weight <= 1 <= max_weight, both positive")
+        if self.smoothing <= 0:
+            raise ConfigError("smoothing must be positive")
+
+
+class DriftAwareReweighter:
+    """Compute per-pair inverse-propensity weights from exposure counts."""
+
+    def __init__(self, config: DriftReweighterConfig | None = None) -> None:
+        self.config = config or DriftReweighterConfig()
+        self.config.validate()
+        self._reference: np.ndarray | None = None
+        self._weeks_seen = 0
+
+    # ------------------------------------------------------------------
+    def update_reference(self, entity_counts: np.ndarray) -> None:
+        """Fold one week's entity-exposure counts into the running reference."""
+        counts = np.asarray(entity_counts, dtype=np.float64)
+        if self._reference is None:
+            self._reference = counts.copy()
+        else:
+            if counts.shape != self._reference.shape:
+                raise ConfigError("entity count vector changed shape between weeks")
+            # Running mean over the weeks seen so far.
+            self._reference = (self._reference * self._weeks_seen + counts) / (
+                self._weeks_seen + 1
+            )
+        self._weeks_seen += 1
+
+    @property
+    def has_reference(self) -> bool:
+        return self._reference is not None
+
+    # ------------------------------------------------------------------
+    def entity_propensity(self, entity_counts: np.ndarray) -> np.ndarray:
+        """Per-entity exposure ratio: this week's share vs the reference share."""
+        if self._reference is None:
+            raise ConfigError("update_reference must be called at least once")
+        counts = np.asarray(entity_counts, dtype=np.float64)
+        s = self.config.smoothing
+        current = (counts + s) / (counts + s).sum()
+        reference = (self._reference + s) / (self._reference + s).sum()
+        return current / reference
+
+    def pair_weights(self, pairs: np.ndarray, entity_counts: np.ndarray) -> np.ndarray:
+        """Inverse-propensity weight for each training pair.
+
+        A pair whose endpoints are twice as exposed as usual this week gets
+        weight ~0.5; an under-exposed pair gets up-weighted — both clamped
+        to ``[min_weight, max_weight]``.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        propensity = self.entity_propensity(entity_counts)
+        pair_propensity = np.sqrt(propensity[pairs[:, 0]] * propensity[pairs[:, 1]])
+        weights = 1.0 / np.maximum(pair_propensity, 1e-9)
+        weights = np.clip(weights, self.config.min_weight, self.config.max_weight)
+        # Normalise to mean 1 so the loss scale is unchanged.
+        return weights / weights.mean()

@@ -1,0 +1,86 @@
+"""Shared fixtures.
+
+Expensive artefacts (world, behavior logs, candidate graph, a trained ALPC)
+are session-scoped: many test modules read them, none mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BehaviorConfig,
+    BehaviorLogGenerator,
+    World,
+    WorldConfig,
+    make_link_prediction_split,
+)
+from repro.embeddings import SemanticEntityEncoder, SemanticEncoderConfig, SkipGramConfig, SkipGramModel
+from repro.embeddings.mlm import MLMConfig
+from repro.text import EntityDict, EntitySequenceExtractor
+from repro.trmp import ALPCConfig, ALPCLinkPredictor, CandidateGenerator
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return World(WorldConfig(num_entities=150, num_users=120, seed=42))
+
+
+@pytest.fixture(scope="session")
+def events(world):
+    generator = BehaviorLogGenerator(world, BehaviorConfig(num_days=21, seed=5))
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def entity_dict(world):
+    return EntityDict.from_world(world)
+
+
+@pytest.fixture(scope="session")
+def extractor(entity_dict):
+    return EntitySequenceExtractor(entity_dict)
+
+
+@pytest.fixture(scope="session")
+def sequences(extractor, events):
+    return extractor.corpus_sequences(events)
+
+
+@pytest.fixture(scope="session")
+def e_cooccurrence(world, sequences):
+    model = SkipGramModel(world.num_entities, SkipGramConfig(epochs=10, seed=2))
+    return model.fit(sequences).normalized_vectors()
+
+
+@pytest.fixture(scope="session")
+def semantic_encoder(world):
+    config = SemanticEncoderConfig(mlm=MLMConfig(epochs=5, seed=3))
+    return SemanticEntityEncoder(world, config).pretrain()
+
+
+@pytest.fixture(scope="session")
+def e_semantic(semantic_encoder):
+    return semantic_encoder.encode_entities()
+
+
+@pytest.fixture(scope="session")
+def candidate(e_cooccurrence, e_semantic):
+    return CandidateGenerator().generate(e_cooccurrence, e_semantic)
+
+
+@pytest.fixture(scope="session")
+def split(candidate):
+    return make_link_prediction_split(candidate.graph, rng=11)
+
+
+@pytest.fixture(scope="session")
+def trained_alpc(split, candidate, e_semantic):
+    config = ALPCConfig(epochs=30, seed=1)
+    return ALPCLinkPredictor(config).fit(split, candidate.node_features, e_semantic)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,34 @@
+"""Test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_gradient(fn, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` of a Tensor."""
+    x = x0.copy()
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(Tensor(x)).data)
+        flat[i] = original - eps
+        minus = float(fn(Tensor(x)).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradcheck(fn, x0: np.ndarray, tol: float = 1e-5) -> None:
+    """Compare autograd and numeric gradients of scalar ``fn``."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = fn(x)
+    out.backward()
+    numeric = numeric_gradient(fn, x0)
+    error = np.abs(numeric - x.grad).max()
+    assert error < tol, f"gradcheck failed: max abs error {error}"

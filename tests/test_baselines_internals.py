@@ -1,0 +1,108 @@
+"""Deeper checks of baseline internals: DRNL, SEAL subgraphs, VGAE parts."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline
+from repro.baselines.seal import SEALLinkPredictor, _bfs_distances, drnl_labels
+from repro.graph import EntityGraph
+
+
+class TestBFSDistances:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 4])
+        ours = _bfs_distances(6, src, dst, source=0)
+        g = nx.Graph(list(zip(src.tolist(), dst.tolist())))
+        g.add_node(5)
+        theirs = nx.single_source_shortest_path_length(g, 0)
+        for node in range(5):
+            assert ours[node] == theirs[node]
+        assert ours[5] == 99  # unreachable sentinel
+
+
+class TestDRNL:
+    def test_canonical_small_values(self):
+        # (1,1): d=2 -> 1 + 1 + 1*(1+0-1) = 2
+        assert drnl_labels(np.array([1]), np.array([1]))[0] == 2
+        # (1,2): d=3 -> 1 + 1 + 1*(1+1-1) = 3
+        assert drnl_labels(np.array([1]), np.array([2]))[0] == 3
+        # (2,2): d=4 -> 1 + 2 + 2*(2+0-1) = 5
+        assert drnl_labels(np.array([2]), np.array([2]))[0] == 5
+
+    def test_symmetric(self, rng):
+        du = rng.integers(0, 6, size=50)
+        dv = rng.integers(0, 6, size=50)
+        np.testing.assert_array_equal(drnl_labels(du, dv), drnl_labels(dv, du))
+
+
+class TestSEALSubgraphs:
+    @pytest.fixture()
+    def seal(self, split, candidate):
+        model = SEALLinkPredictor(max_neighbors=5)
+        model._graph = split.train_graph
+        model._features = candidate.node_features
+        return model
+
+    def test_target_edge_hidden(self, seal, split):
+        lo, hi = split.train_graph.canonical_pairs()
+        u, v = int(lo[0]), int(hi[0])
+        nodes, src, dst, labels = seal._enclosing_subgraph(u, v)
+        local = {int(n): i for i, n in enumerate(nodes)}
+        forbidden = {(local[u], local[v]), (local[v], local[u])}
+        assert not (set(zip(src.tolist(), dst.tolist())) & forbidden)
+
+    def test_targets_first_with_label_one(self, seal, split):
+        u, v = int(split.test_pos[0][0]), int(split.test_pos[0][1])
+        nodes, _, _, labels = seal._enclosing_subgraph(u, v)
+        assert nodes[0] == u and nodes[1] == v
+        assert labels[0] == 1 and labels[1] == 1
+
+    def test_neighbor_cap_respected(self, seal, split):
+        u, v = int(split.test_pos[1][0]), int(split.test_pos[1][1])
+        nodes, _, _, _ = seal._enclosing_subgraph(u, v)
+        assert len(nodes) <= 2 + 2 * seal.max_neighbors
+
+    def test_batch_block_diagonal(self, seal, split):
+        pairs = split.test_pos[:3]
+        batch = seal._build_batch(pairs)
+        assert batch.num_graphs == 3
+        assert batch.graph_ids.max() == 2
+        # Edges never cross graph boundaries.
+        for s, d in zip(batch.src, batch.dst):
+            assert batch.graph_ids[s] == batch.graph_ids[d]
+
+
+class TestVGAEInternals:
+    def test_latent_statistics_regularised(self, split, candidate):
+        model = make_baseline("VGAE", candidate.node_features.shape[1])
+        model.epochs = 40
+        model.kl_weight = 1.0  # strong KL pull for the test
+        model.fit(split, candidate.node_features)
+        mu = model._mu
+        # With a strong KL term the posterior means stay near the prior.
+        assert np.abs(mu.mean()) < 0.5
+        assert mu.std() < 3.0
+
+
+class TestGNNPredictorExtras:
+    def test_node_embeddings_exposed(self, split, candidate):
+        model = make_baseline("GeniePath", candidate.node_features.shape[1])
+        model.epochs = 5
+        model.fit(split, candidate.node_features)
+        z = model.node_embeddings
+        assert z.shape[0] == split.num_nodes
+        assert np.isfinite(z).all()
+
+    def test_alpc_reports_contrastive_loss_only_when_enabled(self, split, candidate, e_semantic):
+        from repro.trmp import ALPCConfig, ALPCLinkPredictor
+
+        with_cl = ALPCLinkPredictor(ALPCConfig(epochs=2, beta=1.0, seed=0))
+        with_cl.fit(split, candidate.node_features, e_semantic)
+        assert max(with_cl.report.cl_losses) > 0
+
+        without_cl = ALPCLinkPredictor(ALPCConfig(epochs=2, beta=0.0, seed=0))
+        without_cl.fit(split, candidate.node_features, e_semantic)
+        assert max(without_cl.report.cl_losses) == 0

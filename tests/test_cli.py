@@ -1,0 +1,60 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestWorldCommand:
+    def test_exports_files(self, tmp_path, capsys):
+        events_out = tmp_path / "events.jsonl"
+        dict_out = tmp_path / "dict.tsv"
+        code = main(
+            [
+                "world",
+                "--entities", "30",
+                "--users", "20",
+                "--days", "3",
+                "--events-out", str(events_out),
+                "--dict-out", str(dict_out),
+            ]
+        )
+        assert code == 0
+        assert events_out.exists() and dict_out.exists()
+        out = capsys.readouterr().out
+        assert "events" in out and "entity dict" in out
+
+        # The exported files round-trip through the loaders.
+        from repro.datasets import load_entity_dict, load_events
+
+        assert len(load_events(events_out)) > 0
+        assert len(load_entity_dict(dict_out)) == 30
+
+
+class TestGraphStats:
+    def test_prints_summaries(self, capsys):
+        code = main(["graph-stats", "--entities", "60", "--users", "40", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidate graph:" in out
+        assert "ranked graph:" in out
+        assert "ground truth:" in out
+
+
+class TestDemo:
+    def test_end_to_end(self, capsys):
+        code = main(["demo", "--entities", "80", "--users", "50", "--k", "5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "offline refresh" in out
+        assert "exported 5 users" in out

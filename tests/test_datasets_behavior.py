@@ -1,0 +1,102 @@
+"""Behavior-log generation and weekly drift."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import BehaviorConfig, BehaviorLogGenerator, WeeklyDriftProcess
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BehaviorConfig(daily_activity=0.0).validate()
+        with pytest.raises(ConfigError):
+            BehaviorConfig(num_days=0).validate()
+        with pytest.raises(ConfigError):
+            BehaviorConfig(max_mentions_per_event=0).validate()
+
+
+class TestEvents:
+    def test_days_within_range(self, world):
+        generator = BehaviorLogGenerator(world, BehaviorConfig(num_days=5, seed=1))
+        events = generator.generate(start_day=10, num_days=5)
+        days = {e.day for e in events}
+        assert days <= set(range(10, 15))
+
+    def test_mentions_reference_actual_tokens(self, events, world):
+        for event in events[:200]:
+            tokens = event.tokens
+            for mention in event.mentions:
+                surface = " ".join(tokens[mention.start : mention.end + 1])
+                assert surface == world.entities[mention.entity_id].name.lower()
+
+    def test_channels_valid(self, events):
+        assert {e.channel for e in events} <= {"search", "visit"}
+
+    def test_every_event_has_a_mention(self, events):
+        assert all(len(e.mentions) >= 1 for e in events)
+
+    def test_mention_count_bounded(self, world):
+        config = BehaviorConfig(num_days=3, max_mentions_per_event=2, seed=2)
+        events = BehaviorLogGenerator(world, config).generate()
+        assert all(len(e.mentions) <= 2 for e in events)
+
+    def test_deterministic_given_seed(self, world):
+        a = BehaviorLogGenerator(world, BehaviorConfig(num_days=3, seed=4)).generate()
+        b = BehaviorLogGenerator(world, BehaviorConfig(num_days=3, seed=4)).generate()
+        assert [e.text for e in a[:20]] == [e.text for e in b[:20]]
+
+    def test_users_mention_entities_they_like(self, world, events):
+        # Users should interact with their top topics far more than chance.
+        affinity = world.user_entity_affinity()
+        scores = [affinity[e.user_id, m.entity_id] for e in events[:300] for m in e.mentions]
+        assert np.mean(scores) > affinity.mean() * 1.5
+
+    def test_events_topically_coherent(self, world, events):
+        # Two mentions in the same event usually share a primary topic.
+        agree = []
+        for event in events:
+            topics = [world.entities[m.entity_id].primary_topic for m in event.mentions]
+            if len(topics) >= 2:
+                agree.append(len(set(topics)) == 1)
+        assert np.mean(agree) > 0.6
+
+
+class TestDrift:
+    def test_weights_are_distribution(self, world):
+        drift = WeeklyDriftProcess(world.num_topics, 0.3, np.random.default_rng(0))
+        for _ in range(5):
+            w = drift.step()
+            assert w.shape == (world.num_topics,)
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_zero_scale_is_stationary(self, world):
+        drift = WeeklyDriftProcess(world.num_topics, 0.0, np.random.default_rng(0))
+        w1 = drift.step()
+        w2 = drift.step()
+        np.testing.assert_allclose(w1, w2)
+
+    def test_drift_changes_entity_mix(self, world):
+        generator = BehaviorLogGenerator(world, BehaviorConfig(seed=3, drift_scale=1.5))
+        week0 = generator.generate_week(0, rng=0)
+        for _ in range(5):
+            generator.drift.step()
+        week9 = generator.generate_week(9, rng=0)
+
+        def topic_histogram(events):
+            counts = np.zeros(world.num_topics)
+            for e in events:
+                for m in e.mentions:
+                    counts[world.entities[m.entity_id].primary_topic] += 1
+            return counts / counts.sum()
+
+        h0 = topic_histogram(week0)
+        h9 = topic_histogram(week9)
+        assert np.abs(h0 - h9).sum() > 0.1  # distribution moved
+
+    def test_generate_week_day_offsets(self, world):
+        generator = BehaviorLogGenerator(world, BehaviorConfig(seed=3))
+        week2 = generator.generate_week(2, rng=0)
+        days = {e.day for e in week2}
+        assert days <= set(range(14, 21))

@@ -1,0 +1,128 @@
+"""Synthetic world generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import NUM_ENTITY_TYPES, World, WorldConfig
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            World(WorldConfig(num_topics=1))
+        with pytest.raises(ConfigError):
+            World(WorldConfig(num_topics=99))
+        with pytest.raises(ConfigError):
+            World(WorldConfig(num_entities=2, num_topics=12))
+        with pytest.raises(ConfigError):
+            World(WorldConfig(num_users=0))
+
+
+class TestStructure:
+    def test_sizes(self, world):
+        assert len(world.entities) == world.num_entities
+        assert world.entity_topics.shape == (world.num_entities, world.num_topics)
+        assert world.user_interests.shape == (world.num_users, world.num_topics)
+
+    def test_mixtures_are_distributions(self, world):
+        np.testing.assert_allclose(world.entity_topics.sum(axis=1), 1.0)
+        np.testing.assert_allclose(world.user_interests.sum(axis=1), 1.0)
+        assert (world.entity_topics >= 0).all()
+
+    def test_entity_names_unique(self, world):
+        names = [e.name for e in world.entities]
+        assert len(set(names)) == len(names)
+
+    def test_names_do_not_collide_with_topic_words(self, world):
+        topic_words = {w for bank in world.topic_words for w in bank}
+        for e in world.entities:
+            assert e.name.lower() not in topic_words
+
+    def test_types_in_range(self, world):
+        for e in world.entities:
+            assert 0 <= e.type_id < NUM_ENTITY_TYPES
+
+    def test_every_topic_has_entities(self, world):
+        topics = {e.primary_topic for e in world.entities}
+        assert topics == set(range(world.num_topics))
+
+    def test_popularity_is_distribution(self, world):
+        assert world.popularity.sum() == pytest.approx(1.0)
+        assert (world.popularity > 0).all()
+
+    def test_primary_topic_dominates_mixture(self, world):
+        dominant = np.argmax(world.entity_topics, axis=1)
+        agree = np.mean([dominant[e.entity_id] == e.primary_topic for e in world.entities])
+        assert agree > 0.95
+
+    def test_deterministic_given_seed(self):
+        a = World(WorldConfig(num_entities=50, num_users=20, seed=9))
+        b = World(WorldConfig(num_entities=50, num_users=20, seed=9))
+        np.testing.assert_allclose(a.entity_topics, b.entity_topics)
+        assert [e.name for e in a.entities] == [e.name for e in b.entities]
+
+
+class TestGroundTruth:
+    def test_relatedness_bounds_and_symmetry(self, world):
+        r01 = world.relatedness(0, 1)
+        assert 0 <= r01 <= 1 + 1e-12
+        assert r01 == pytest.approx(world.relatedness(1, 0))
+        assert world.relatedness(5, 5) == pytest.approx(1.0)
+
+    def test_relatedness_matrix_matches_pairwise(self, world):
+        matrix = world.relatedness_matrix()
+        assert matrix[3, 7] == pytest.approx(world.relatedness(3, 7))
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_ground_truth_graph_thresholding(self, world):
+        strict = world.ground_truth_graph(0.9)
+        loose = world.ground_truth_graph(0.5)
+        assert strict.num_edges < loose.num_edges
+        lo, hi = strict.canonical_pairs()
+        for u, v in zip(lo[:50], hi[:50]):
+            assert world.relatedness(int(u), int(v)) >= 0.9
+
+    def test_same_topic_pairs_more_related(self, world):
+        same = [
+            world.relatedness(a.entity_id, b.entity_id)
+            for a in world.entities[:30]
+            for b in world.entities[:30]
+            if a.entity_id < b.entity_id and a.primary_topic == b.primary_topic
+        ]
+        cross = [
+            world.relatedness(a.entity_id, b.entity_id)
+            for a in world.entities[:30]
+            for b in world.entities[:30]
+            if a.entity_id < b.entity_id and a.primary_topic != b.primary_topic
+        ]
+        assert np.mean(same) > np.mean(cross) + 0.3
+
+    def test_affinity_shape(self, world):
+        aff = world.user_entity_affinity()
+        assert aff.shape == (world.num_users, world.num_entities)
+        assert (aff >= 0).all()
+
+
+class TestTextHelpers:
+    def test_description_contains_name(self, world, rng):
+        desc = world.entity_description(0, rng)
+        assert world.entities[0].name.lower() in desc
+
+    def test_description_words_track_mixture(self, world, rng):
+        entity = world.entities[0]
+        topic_hits = 0
+        total = 0
+        for _ in range(30):
+            for word in world.entity_description(entity.entity_id, rng, length=6).split():
+                topic = world.topic_of_word(word)
+                if topic is not None:
+                    total += 1
+                    topic_hits += topic == entity.primary_topic
+        assert topic_hits / total > 0.5
+
+    def test_entity_by_name(self, world):
+        entity = world.entities[3]
+        assert world.entity_by_name(entity.name).entity_id == 3
+        with pytest.raises(ConfigError):
+            world.entity_by_name("definitely-not-a-name")

@@ -1,0 +1,70 @@
+"""Masked-language model and semantic entity encoder."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import MaskedLanguageModel, MLMConfig, SemanticEncoderConfig, SemanticEntityEncoder, train_mlm
+from repro.errors import ConfigError
+from repro.text import Vocab
+
+
+class TestMLM:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MLMConfig(mask_prob=0.0).validate()
+        with pytest.raises(ConfigError):
+            MLMConfig(dim=30, num_heads=4).validate()
+
+    def test_loss_decreases(self, rng):
+        vocab = Vocab([f"w{i}" for i in range(20)])
+        docs = [[f"w{i}", f"w{(i+1) % 20}", f"w{(i+2) % 20}"] for i in range(20)] * 4
+        model = MaskedLanguageModel(vocab, MLMConfig(epochs=4, dim=16, max_len=6, seed=0))
+        report = train_mlm(model, docs, rng=0)
+        first = np.mean(report.losses[:5])
+        last = np.mean(report.losses[-5:])
+        assert last < first
+
+    def test_empty_documents_raise(self):
+        model = MaskedLanguageModel(Vocab(["a"]), MLMConfig(epochs=1))
+        with pytest.raises(ConfigError):
+            train_mlm(model, [])
+
+    def test_encode_pooled_shape_and_mask(self, rng):
+        vocab = Vocab(["a", "b"])
+        model = MaskedLanguageModel(vocab, MLMConfig(dim=16, max_len=4))
+        ids = np.array([[4, 5, 0, 0]])
+        mask = np.array([[True, True, False, False]])
+        out = model.encode(ids, mask)
+        assert out.shape == (1, 16)
+
+
+class TestSemanticEncoder:
+    def test_embeddings_unit_norm(self, e_semantic, world):
+        assert e_semantic.shape[0] == world.num_entities
+        np.testing.assert_allclose(
+            np.linalg.norm(e_semantic, axis=1), np.ones(world.num_entities), atol=1e-9
+        )
+
+    def test_same_topic_more_similar_than_cross(self, world, e_semantic):
+        rel = world.relatedness_matrix()
+        iu = np.triu_indices(world.num_entities, 1)
+        sims = e_semantic @ e_semantic.T
+        same = sims[iu][rel[iu] > 0.8]
+        cross = sims[iu][rel[iu] < 0.2]
+        assert same.mean() > cross.mean()
+
+    def test_encode_text_near_topic_entities(self, world, semantic_encoder, e_semantic):
+        entity = world.entities[0]
+        query = semantic_encoder.encode_text(entity.name.lower())
+        sims = e_semantic @ query
+        top = int(np.argmax(sims))
+        # The nearest entity should share the query entity's primary topic.
+        assert world.entities[top].primary_topic == entity.primary_topic
+
+    def test_pooled_method_shape(self, world, semantic_encoder):
+        pooled = semantic_encoder.encode_entities(method="pooled")
+        assert pooled.shape[0] == world.num_entities
+
+    def test_unknown_method_raises(self, semantic_encoder):
+        with pytest.raises(ConfigError):
+            semantic_encoder.encode_entities(method="avg?")

@@ -1,0 +1,80 @@
+"""Skip-gram with negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import SkipGramConfig, SkipGramModel
+from repro.errors import ConfigError, NotFittedError
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SkipGramConfig(dim=0).validate()
+        with pytest.raises(ConfigError):
+            SkipGramConfig(lr=0.01, min_lr=0.1).validate()
+        SkipGramConfig().validate()
+
+
+class TestPairs:
+    def test_window_pairs(self):
+        model = SkipGramModel(5, SkipGramConfig(window=1, epochs=1))
+        pairs = model._build_pairs([[0, 1, 2]])
+        as_set = {tuple(p) for p in pairs}
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_wider_window(self):
+        model = SkipGramModel(5, SkipGramConfig(window=2, epochs=1))
+        pairs = model._build_pairs([[0, 1, 2]])
+        assert (np.array([0, 2]) == pairs).all(axis=1).any()
+
+    def test_empty_sequences_raise(self):
+        model = SkipGramModel(5, SkipGramConfig(epochs=1))
+        with pytest.raises(ConfigError):
+            model.fit([[3]])
+
+
+class TestTraining:
+    def test_not_fitted_guard(self):
+        model = SkipGramModel(5)
+        with pytest.raises(NotFittedError):
+            _ = model.vectors
+
+    def test_cooccurring_items_end_up_similar(self):
+        # Two disjoint "topics": {0..4} and {5..9} never co-occur.
+        rng = np.random.default_rng(0)
+        seqs = []
+        for _ in range(200):
+            base = 0 if rng.random() < 0.5 else 5
+            seqs.append(list(base + rng.integers(0, 5, size=8)))
+        model = SkipGramModel(10, SkipGramConfig(dim=16, epochs=5, seed=0)).fit(seqs, rng=1)
+        v = model.normalized_vectors()
+        within = np.mean([v[i] @ v[j] for i in range(5) for j in range(5) if i != j])
+        across = np.mean([v[i] @ v[j + 5] for i in range(5) for j in range(5)])
+        assert within > across + 0.2
+
+    def test_similarity_symmetric(self):
+        seqs = [[0, 1, 2, 3]] * 30
+        model = SkipGramModel(4, SkipGramConfig(epochs=2)).fit(seqs)
+        assert model.similarity(0, 1) == pytest.approx(model.similarity(1, 0))
+
+    def test_normalized_vectors_unit_norm(self):
+        seqs = [[0, 1, 2, 3, 0, 1]] * 20
+        model = SkipGramModel(4, SkipGramConfig(epochs=2)).fit(seqs)
+        norms = np.linalg.norm(model.normalized_vectors(), axis=1)
+        np.testing.assert_allclose(norms, np.ones(4), atol=1e-9)
+
+    def test_deterministic_given_seed(self):
+        seqs = [[0, 1, 2, 3, 4] * 3] * 10
+        a = SkipGramModel(5, SkipGramConfig(epochs=2, seed=7)).fit(seqs, rng=9).vectors
+        b = SkipGramModel(5, SkipGramConfig(epochs=2, seed=7)).fit(seqs, rng=9).vectors
+        np.testing.assert_allclose(a, b)
+
+    def test_vectors_stay_finite_with_popular_items(self):
+        # Item 0 dominates every sequence — the per-row update normalisation
+        # must keep training stable.
+        rng = np.random.default_rng(3)
+        seqs = [[0] + list(rng.integers(0, 20, size=10)) for _ in range(100)]
+        model = SkipGramModel(20, SkipGramConfig(epochs=5, lr=0.1)).fit(seqs)
+        assert np.isfinite(model.vectors).all()
+        assert np.linalg.norm(model.vectors, axis=1).max() < 50

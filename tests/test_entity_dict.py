@@ -1,0 +1,91 @@
+"""Entity Dict: lookup, longest-match scanning, weekly updates."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.text import EntityDict, EntityEntry
+
+
+@pytest.fixture()
+def sample_dict():
+    return EntityDict(
+        [
+            EntityEntry(0, "nba", 3, "sport_event"),
+            EntityEntry(1, "la lakers", 2, "sport_team"),
+            EntityEntry(2, "la", 10, "travel_place"),
+            EntityEntry(3, "lakers", 2, "sport_team"),
+        ]
+    )
+
+
+class TestLookup:
+    def test_by_name_case_insensitive(self, sample_dict):
+        assert sample_dict.by_name("NBA").entity_id == 0
+
+    def test_contains(self, sample_dict):
+        assert "nba" in sample_dict
+        assert "cba" not in sample_dict
+
+    def test_by_id_and_errors(self, sample_dict):
+        assert sample_dict.by_id(1).name == "la lakers"
+        with pytest.raises(VocabularyError):
+            sample_dict.by_id(99)
+        with pytest.raises(VocabularyError):
+            sample_dict.by_name("ghost")
+
+    def test_get_returns_none(self, sample_dict):
+        assert sample_dict.get("ghost") is None
+
+    def test_types_and_entities_of_type(self, sample_dict):
+        assert sample_dict.types()[2] == "sport_team"
+        teams = sample_dict.entities_of_type(2)
+        assert {e.entity_id for e in teams} == {1, 3}
+
+
+class TestScan:
+    def test_single_token_match(self, sample_dict):
+        spans = sample_dict.scan(["i", "watch", "nba"])
+        assert [(s, e, entry.entity_id) for s, e, entry in spans] == [(2, 2, 0)]
+
+    def test_longest_match_wins(self, sample_dict):
+        spans = sample_dict.scan(["la", "lakers", "rock"])
+        assert len(spans) == 1
+        assert spans[0][2].entity_id == 1  # "la lakers", not "la" + "lakers"
+
+    def test_non_overlapping_greedy(self, sample_dict):
+        spans = sample_dict.scan(["la", "la", "lakers"])
+        ids = [entry.entity_id for _, _, entry in spans]
+        assert ids == [2, 1]  # "la" then "la lakers"
+
+    def test_case_insensitive_scan(self, sample_dict):
+        assert sample_dict.scan(["NBA"])[0][2].entity_id == 0
+
+    def test_empty_tokens(self, sample_dict):
+        assert sample_dict.scan([]) == []
+
+
+class TestUpdates:
+    def test_update_adds_and_overwrites(self, sample_dict):
+        n = sample_dict.update([EntityEntry(4, "cba", 3, "sport_event")])
+        assert n == 1
+        assert sample_dict.by_name("cba").entity_id == 4
+
+    def test_remove(self, sample_dict):
+        sample_dict.remove(0)
+        assert "nba" not in sample_dict
+        assert sample_dict.scan(["nba"]) == []
+        with pytest.raises(VocabularyError):
+            sample_dict.remove(0)
+
+    def test_len_and_iter(self, sample_dict):
+        assert len(sample_dict) == 4
+        assert {e.entity_id for e in sample_dict} == {0, 1, 2, 3}
+
+
+class TestFromWorld:
+    def test_covers_all_entities(self, world, entity_dict):
+        assert len(entity_dict) == world.num_entities
+        first = world.entities[0]
+        entry = entity_dict.by_name(first.name)
+        assert entry.entity_id == first.entity_id
+        assert entry.type_id == first.type_id

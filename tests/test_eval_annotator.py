@@ -1,0 +1,95 @@
+"""Simulated annotator panel, AEEC, stability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import (
+    AnnotatorPanel,
+    average_expansion_entity_count,
+    weekly_stability,
+)
+
+
+class TestPanel:
+    def test_validation(self, world):
+        with pytest.raises(ConfigError):
+            AnnotatorPanel(world, num_annotators=0)
+        with pytest.raises(ConfigError):
+            AnnotatorPanel(world, high_threshold=0.2, medium_threshold=0.4)
+
+    def test_true_relations_judged_accurate(self, world):
+        panel = AnnotatorPanel(world)
+        graph = world.ground_truth_graph(0.85)
+        lo, hi = graph.canonical_pairs()
+        pairs = np.stack([lo, hi], axis=1)[:200]
+        report = panel.evaluate_relations(pairs)
+        assert report.acc > 0.9
+        assert report.cors > 0.8
+
+    def test_random_pairs_judged_mostly_inaccurate(self, world, rng):
+        panel = AnnotatorPanel(world)
+        pairs = rng.integers(0, world.num_entities, size=(300, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        report = panel.evaluate_relations(pairs)
+        assert report.acc < 0.5
+
+    def test_scores_in_allowed_set(self, world, rng):
+        panel = AnnotatorPanel(world)
+        pairs = rng.integers(0, world.num_entities, size=(50, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        scores = panel.judge_pairs(pairs)
+        assert set(np.unique(scores)) <= {0.0, 0.5, 1.0}
+
+    def test_sampling_reduces_pair_count(self, world, rng):
+        panel = AnnotatorPanel(world)
+        pairs = rng.integers(0, world.num_entities, size=(100, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        report = panel.evaluate_relations(pairs, sample_size=20, rng=0)
+        assert report.num_pairs == 20
+
+    def test_empty_relations_raise(self, world):
+        panel = AnnotatorPanel(world)
+        with pytest.raises(ConfigError):
+            panel.evaluate_relations(np.empty((0, 2), dtype=np.int64))
+
+    def test_cors_leq_acc(self, world, rng):
+        # Correlation score counts medium as 0.5, so CorS <= ACC.
+        panel = AnnotatorPanel(world)
+        pairs = rng.integers(0, world.num_entities, size=(300, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+        report = panel.evaluate_relations(pairs)
+        assert report.cors <= report.acc + 1e-12
+
+
+class TestAEEC:
+    def test_formula(self):
+        pairs = np.array([[0, 1], [0, 2], [3, 4]])
+        # 3 relations over 5 distinct entities → 6/5 endpoints per entity.
+        assert average_expansion_entity_count(pairs) == pytest.approx(6 / 5)
+
+    def test_explicit_dictionary_size(self):
+        pairs = np.array([[0, 1]])
+        assert average_expansion_entity_count(pairs, num_sources=10) == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert average_expansion_entity_count(np.empty((0, 2))) == 0.0
+
+
+class TestStability:
+    def test_report_fields(self):
+        report = weekly_stability([0.95, 0.97, 0.96])
+        assert report.mean_acc == pytest.approx(0.96)
+        assert report.min_acc == 0.95
+        assert report.max_acc == 0.97
+        expected_var = np.var(np.array([95.0, 97.0, 96.0]))
+        assert report.variance_pp == pytest.approx(expected_var)
+
+    def test_constant_series_zero_variance(self):
+        assert weekly_stability([0.9, 0.9, 0.9]).variance_pp == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            weekly_stability([0.9])
+        with pytest.raises(ConfigError):
+            weekly_stability([0.9, 1.5])

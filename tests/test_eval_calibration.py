@@ -1,0 +1,62 @@
+"""Calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval import reliability_report
+
+
+class TestReliability:
+    def test_perfectly_calibrated(self, rng):
+        probs = rng.random(20_000)
+        labels = (rng.random(20_000) < probs).astype(float)
+        report = reliability_report(labels, probs)
+        assert report.ece < 0.02
+        for b in report.bins:
+            assert abs(b.mean_confidence - b.empirical_accuracy) < 0.05
+
+    def test_overconfident_model_flagged(self, rng):
+        # Predicts 0.95 but is right only half the time.
+        probs = np.full(5000, 0.95)
+        labels = (rng.random(5000) < 0.5).astype(float)
+        report = reliability_report(labels, probs)
+        assert report.ece > 0.3
+
+    def test_brier_zero_for_perfect_predictions(self):
+        labels = np.array([1.0, 0.0, 1.0])
+        report = reliability_report(labels, labels)
+        assert report.brier == 0.0
+        assert report.ece == 0.0
+
+    def test_bin_edges_cover_unit_interval(self, rng):
+        probs = rng.random(1000)
+        labels = rng.integers(0, 2, 1000).astype(float)
+        report = reliability_report(labels, probs, num_bins=5)
+        assert report.bins[0].lower == 0.0
+        assert report.bins[-1].upper == 1.0
+        assert sum(b.count for b in report.bins) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            reliability_report(np.ones(3), np.ones(4))
+        with pytest.raises(ConfigError):
+            reliability_report(np.ones(3), np.array([0.1, 0.2, 1.5]))
+        with pytest.raises(ConfigError):
+            reliability_report(np.ones(3), np.ones(3), num_bins=1)
+
+    def test_to_text_renders(self, rng):
+        probs = rng.random(100)
+        labels = rng.integers(0, 2, 100).astype(float)
+        text = reliability_report(labels, probs).to_text()
+        assert "ECE" in text and "Brier" in text
+
+
+class TestOnALPC:
+    def test_alpc_probabilities_roughly_calibrated(self, trained_alpc, split):
+        pairs, labels = split.test_pairs_and_labels()
+        probs = trained_alpc.predict_pairs(pairs)
+        report = reliability_report(labels, probs, num_bins=5)
+        # Trained link probabilities should be informative, not wildly off.
+        assert report.ece < 0.35
+        assert report.brier < 0.25

@@ -1,0 +1,92 @@
+"""Mined-relation evaluation protocol (Table I / II ACC)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import AnnotatorPanel, accept_mask, evaluate_mined_relations
+from repro.eval.relations import calibrate_global_threshold
+
+
+class OracleModel:
+    """Scores pairs by ground-truth relatedness (duck-typed predictor)."""
+
+    name = "Oracle"
+
+    def __init__(self, world):
+        self.world = world
+
+    def predict_pairs(self, pairs):
+        return np.array([self.world.relatedness(int(u), int(v)) for u, v in pairs])
+
+
+class AdaptiveOracle(OracleModel):
+    """Same oracle but exposing an adaptive acceptance rule."""
+
+    name = "AdaptiveOracle"
+
+    def accept_pairs(self, pairs):
+        return self.predict_pairs(pairs) > 0.5
+
+
+class TestAcceptMask:
+    def test_prefers_adaptive_rule(self, world, split):
+        model = AdaptiveOracle(world)
+        pairs = split.test_pos[:20]
+        mask = accept_mask(model, pairs)
+        np.testing.assert_array_equal(mask, model.accept_pairs(pairs))
+
+    def test_global_threshold_without_split(self, world, split):
+        model = OracleModel(world)
+        pairs = split.test_pos[:20]
+        mask = accept_mask(model, pairs)  # falls back to 0.5
+        np.testing.assert_array_equal(mask, model.predict_pairs(pairs) >= 0.5)
+
+
+class TestCalibration:
+    def test_calibrated_threshold_separates_training_data(self, world, split):
+        model = OracleModel(world)
+        threshold = calibrate_global_threshold(model, split)
+        assert 0.0 < threshold < 1.0
+        # The oracle's calibrated threshold should accept most train
+        # positives and few train negatives.
+        pos_scores = model.predict_pairs(split.train_pos)
+        neg_scores = model.predict_pairs(split.train_neg)
+        assert (pos_scores >= threshold).mean() > (neg_scores >= threshold).mean() + 0.2
+
+
+class TestMinedReport:
+    def test_oracle_gets_high_acc(self, world, split):
+        panel = AnnotatorPanel(world)
+        report = evaluate_mined_relations(AdaptiveOracle(world), split, panel)
+        assert report.name == "AdaptiveOracle"
+        assert report.acc > 0.85
+        assert 0 < report.num_accepted <= report.num_pool
+        assert 0 < report.acceptance_rate < 1
+
+    def test_reject_all_model(self, world, split):
+        class RejectAll:
+            name = "RejectAll"
+
+            def predict_pairs(self, pairs):
+                return np.zeros(len(pairs))
+
+            def accept_pairs(self, pairs):
+                return np.zeros(len(pairs), dtype=bool)
+
+        panel = AnnotatorPanel(world)
+        report = evaluate_mined_relations(RejectAll(), split, panel)
+        assert report.num_accepted == 0
+        assert report.acc == 0.0
+
+    def test_constant_score_model_accepts_everything_after_calibration(self, world, split):
+        class Constant:
+            name = "Constant"
+
+            def predict_pairs(self, pairs):
+                return np.full(len(pairs), 0.3)
+
+        panel = AnnotatorPanel(world)
+        report = evaluate_mined_relations(Constant(), split, panel)
+        # A constant scorer cannot separate, so calibration degenerates to
+        # accepting the whole pool.
+        assert report.num_accepted == report.num_pool

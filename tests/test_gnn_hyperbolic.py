@@ -1,0 +1,103 @@
+"""Poincaré embeddings (the paper's hyperbolic future-work direction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, NotFittedError
+from repro.gnn import PoincareConfig, PoincareEmbedding, poincare_distance, project_to_ball
+from repro.graph import EntityGraph
+
+
+def tree_graph(branching: int = 4, leaves_per_child: int = 3) -> EntityGraph:
+    pairs = [(0, c) for c in range(1, branching + 1)]
+    next_id = branching + 1
+    for child in range(1, branching + 1):
+        for _ in range(leaves_per_child):
+            pairs.append((child, next_id))
+            next_id += 1
+    return EntityGraph.from_edge_list(next_id, pairs)
+
+
+class TestGeometry:
+    def test_distance_symmetric_and_zero_on_self(self, rng):
+        u = rng.uniform(-0.4, 0.4, size=5)
+        v = rng.uniform(-0.4, 0.4, size=5)
+        assert poincare_distance(u, v) == pytest.approx(poincare_distance(v, u))
+        assert poincare_distance(u, u) == pytest.approx(0.0, abs=1e-3)
+
+    def test_distance_grows_near_boundary(self):
+        origin = np.zeros(2)
+        near = np.array([0.5, 0.0])
+        far = np.array([0.99, 0.0])
+        assert poincare_distance(origin, far) > poincare_distance(origin, near) * 2
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = rng.uniform(-0.7, 0.7, size=(3, 3))
+        ab = poincare_distance(a, b)
+        bc = poincare_distance(b, c)
+        ac = poincare_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+    def test_projection_keeps_points_inside(self, rng):
+        x = rng.normal(size=(10, 4)) * 5
+        projected = project_to_ball(x)
+        assert (np.linalg.norm(projected, axis=1) < 1.0).all()
+
+    def test_projection_noop_inside(self, rng):
+        x = rng.uniform(-0.3, 0.3, size=(5, 4))
+        np.testing.assert_allclose(project_to_ball(x), x)
+
+
+class TestTraining:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PoincareConfig(dim=1).validate()
+        with pytest.raises(ConfigError):
+            PoincareConfig(epochs=0).validate()
+
+    def test_not_fitted_guard(self):
+        emb = PoincareEmbedding(5)
+        with pytest.raises(NotFittedError):
+            emb.distance(0, 1)
+
+    def test_empty_graph_rejected(self):
+        emb = PoincareEmbedding(5, PoincareConfig(epochs=1))
+        with pytest.raises(ConfigError):
+            emb.fit(EntityGraph.from_edge_list(5, []))
+
+    def test_node_count_mismatch(self):
+        emb = PoincareEmbedding(5, PoincareConfig(epochs=1))
+        with pytest.raises(ConfigError):
+            emb.fit(EntityGraph.from_edge_list(6, [(0, 1)]))
+
+    def test_reconstruction_beats_chance_on_tree(self):
+        graph = tree_graph()
+        emb = PoincareEmbedding(graph.num_nodes, PoincareConfig(dim=4, epochs=40, seed=0))
+        emb.fit(graph)
+        assert emb.reconstruction_auc(graph, rng=1) > 0.75
+
+    def test_root_embeds_near_origin(self):
+        graph = tree_graph()
+        emb = PoincareEmbedding(graph.num_nodes, PoincareConfig(dim=4, epochs=40, seed=0))
+        emb.fit(graph)
+        norms = emb.norms()
+        # The hub (root) sits closer to the origin than the leaves.
+        assert norms[0] < norms[5:].mean() - 0.2
+
+    def test_all_points_stay_in_ball(self):
+        graph = tree_graph()
+        emb = PoincareEmbedding(graph.num_nodes, PoincareConfig(dim=3, epochs=15, seed=0))
+        emb.fit(graph)
+        assert (emb.norms() < 1.0).all()
+
+    def test_pairwise_distances_shape(self):
+        graph = tree_graph()
+        emb = PoincareEmbedding(graph.num_nodes, PoincareConfig(dim=3, epochs=5, seed=0))
+        emb.fit(graph)
+        pairs = np.array([[0, 1], [1, 2]])
+        assert emb.pairwise_distances(pairs).shape == (2,)

@@ -1,0 +1,168 @@
+"""GNN layers: gradients, shapes, structural behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gnn import (
+    CompGCNLayer,
+    GATLayer,
+    GCNLayer,
+    GeniePathEncoder,
+    GeniePathLayer,
+    GNNEncoder,
+    GraphSAGELayer,
+    gcn_norm_coefficients,
+)
+from repro.tensor import Tensor
+
+from helpers import numeric_gradient
+
+
+@pytest.fixture()
+def tiny_graph():
+    # 0-1, 1-2, 2-3, plus isolated node 4.
+    src = np.array([0, 1, 1, 2, 2, 3])
+    dst = np.array([1, 0, 2, 1, 3, 2])
+    return src, dst, 5
+
+
+def layer_gradcheck(layer_fn, x0, tol=1e-5):
+    """Finite-difference check of d(sum(layer(x)^2))/dx."""
+    def fn(t):
+        return (layer_fn(t) ** 2).sum()
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    numeric = numeric_gradient(fn, x0)
+    assert np.abs(numeric - x.grad).max() < tol
+
+
+class TestGCN:
+    def test_shape(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GCNLayer(4, 6, rng=0)
+        out = layer(Tensor(rng.normal(size=(n, 4))), src, dst, n)
+        assert out.shape == (n, 6)
+
+    def test_gradcheck(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GCNLayer(3, 2, rng=0)
+        layer_gradcheck(lambda t: layer(t, src, dst, n), rng.normal(size=(n, 3)))
+
+    def test_isolated_node_keeps_self_signal(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GCNLayer(3, 3, rng=0)
+        x = rng.normal(size=(n, 3))
+        out = layer(Tensor(x), src, dst, n).data
+        assert np.abs(out[4]).sum() > 0  # self-loop term
+
+    def test_norm_coefficients(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 0])
+        coef = gcn_norm_coefficients(src, dst, 3)
+        np.testing.assert_allclose(coef, [0.5, 0.5])  # deg+1 = 2 each
+
+
+class TestSAGE:
+    def test_gradcheck(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GraphSAGELayer(3, 2, rng=0)
+        layer_gradcheck(lambda t: layer(t, src, dst, n), rng.normal(size=(n, 3)))
+
+    def test_neighbor_mean_semantics(self, rng):
+        layer = GraphSAGELayer(2, 2, rng=0)
+        x = rng.normal(size=(3, 2))
+        src = np.array([1, 2])
+        dst = np.array([0, 0])
+        out = layer(Tensor(x), src, dst, 3).data
+        expected = x[0] @ layer.self_linear.weight.data + layer.self_linear.bias.data
+        expected = expected + x[1:3].mean(axis=0) @ layer.neighbor_linear.weight.data
+        np.testing.assert_allclose(out[0], expected)
+
+
+class TestGAT:
+    def test_head_divisibility(self):
+        with pytest.raises(ConfigError):
+            GATLayer(4, 6, num_heads=4)
+
+    def test_shape_and_gradcheck(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GATLayer(3, 4, num_heads=2, rng=0)
+        out = layer(Tensor(rng.normal(size=(n, 3))), src, dst, n)
+        assert out.shape == (n, 4)
+        layer_gradcheck(lambda t: layer(t, src, dst, n), rng.normal(size=(n, 3)), tol=1e-4)
+
+    def test_isolated_node_attends_to_self(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GATLayer(3, 4, num_heads=1, rng=0)
+        x = rng.normal(size=(n, 3))
+        out = layer(Tensor(x), src, dst, n).data
+        expected = x[4] @ layer.linear.weight.data  # softmax over single self-loop = 1
+        np.testing.assert_allclose(out[4], expected, atol=1e-10)
+
+
+class TestCompGCN:
+    def test_relations_change_output(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = CompGCNLayer(3, 4, num_relations=2, rng=0)
+        x = Tensor(rng.normal(size=(n, 3)))
+        rel_a = np.zeros(len(src), dtype=np.int64)
+        rel_b = np.ones(len(src), dtype=np.int64)
+        out_a = layer(x, src, dst, n, relation=rel_a).data
+        out_b = layer(x, src, dst, n, relation=rel_b).data
+        assert np.abs(out_a - out_b).max() > 1e-6
+
+    def test_gradcheck(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = CompGCNLayer(3, 2, rng=0)
+        rel = rng.integers(0, 2, size=len(src))
+        layer_gradcheck(lambda t: layer(t, src, dst, n, relation=rel), rng.normal(size=(n, 3)))
+
+    def test_default_relation_zero(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = CompGCNLayer(3, 2, rng=0)
+        x = Tensor(rng.normal(size=(n, 3)))
+        np.testing.assert_allclose(
+            layer(x, src, dst, n).data,
+            layer(x, src, dst, n, relation=np.zeros(len(src), dtype=np.int64)).data,
+        )
+
+
+class TestGeniePath:
+    def test_layer_returns_state_pair(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        layer = GeniePathLayer(4, rng=0)
+        h = Tensor(rng.normal(size=(n, 4)))
+        new_h, new_c = layer(h, h, src, dst, n)
+        assert new_h.shape == (n, 4)
+        assert new_c.shape == (n, 4)
+
+    def test_encoder_shape_and_grads(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        encoder = GeniePathEncoder(3, 8, num_layers=2, rng=0)
+        out = encoder(Tensor(rng.normal(size=(n, 3))), src, dst, n)
+        assert out.shape == (n, 8)
+        (out * out).sum().backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+    def test_encoder_gradcheck(self, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        encoder = GeniePathEncoder(2, 4, num_layers=1, rng=0)
+        layer_gradcheck(lambda t: encoder(t, src, dst, n), rng.normal(size=(n, 2)), tol=1e-4)
+
+
+class TestGNNEncoder:
+    def test_unknown_type(self):
+        with pytest.raises(ConfigError):
+            GNNEncoder("transformer", 3, 4)
+        with pytest.raises(ConfigError):
+            GNNEncoder("gcn", 3, 4, num_layers=0)
+
+    @pytest.mark.parametrize("layer_type", ["gcn", "sage", "gat", "compgcn"])
+    def test_stacks_forward(self, layer_type, tiny_graph, rng):
+        src, dst, n = tiny_graph
+        encoder = GNNEncoder(layer_type, 3, 4, num_layers=2, rng=0)
+        rel = np.zeros(len(src), dtype=np.int64)
+        out = encoder(Tensor(rng.normal(size=(n, 3))), src, dst, n, relation=rel)
+        assert out.shape == (n, 4)

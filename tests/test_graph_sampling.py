@@ -1,0 +1,135 @@
+"""Alias sampling, random walks, negative pair sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, GraphError
+from repro.graph import (
+    AliasSampler,
+    EntityGraph,
+    node2vec_walks,
+    random_walks,
+    sample_corrupted_targets,
+    sample_negative_pairs,
+)
+
+
+@pytest.fixture()
+def barbell():
+    # Two triangles joined by a bridge 2-3.
+    return EntityGraph.from_edge_list(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+class TestAliasSampler:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AliasSampler(np.array([]))
+        with pytest.raises(ConfigError):
+            AliasSampler(np.array([-1.0, 2.0]))
+        with pytest.raises(ConfigError):
+            AliasSampler(np.array([0.0, 0.0]))
+
+    def test_distribution_matches_probabilities(self):
+        probs = np.array([0.5, 0.3, 0.15, 0.05])
+        sampler = AliasSampler(probs)
+        rng = np.random.default_rng(0)
+        draws = sampler.sample(rng, 60_000)
+        freq = np.bincount(draws, minlength=4) / 60_000
+        np.testing.assert_allclose(freq, probs, atol=0.01)
+
+    def test_degenerate_distribution(self):
+        sampler = AliasSampler(np.array([0.0, 1.0, 0.0]))
+        rng = np.random.default_rng(0)
+        assert set(sampler.sample(rng, 100).tolist()) == {1}
+
+    @given(st.integers(1, 20), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_in_range(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sampler = AliasSampler(rng.random(n) + 0.01)
+        draws = sampler.sample(np.random.default_rng(seed + 1), 50)
+        assert draws.min() >= 0 and draws.max() < n
+
+
+class TestRandomWalks:
+    def test_walks_follow_edges(self, barbell):
+        walks = random_walks(barbell, num_walks=2, walk_length=5, rng=0)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert barbell.has_edge(a, b)
+
+    def test_walk_counts(self, barbell):
+        walks = random_walks(barbell, num_walks=3, walk_length=4, rng=0)
+        assert len(walks) == 3 * barbell.num_nodes
+
+    def test_isolated_node_stops(self):
+        g = EntityGraph.from_edge_list(3, [(0, 1)])
+        walks = random_walks(g, num_walks=1, walk_length=5, rng=0)
+        isolated = [w for w in walks if w[0] == 2]
+        assert all(len(w) == 1 for w in isolated)
+
+    def test_weighted_walks_prefer_heavy_edges(self):
+        g = EntityGraph.from_edge_list(3, [(0, 1), (0, 2)], weights=[0.99, 0.01])
+        walks = random_walks(g, num_walks=200, walk_length=2, rng=0, weighted=True)
+        second = [w[1] for w in walks if w[0] == 0 and len(w) > 1]
+        assert np.mean([s == 1 for s in second]) > 0.9
+
+
+class TestNode2Vec:
+    def test_validation(self, barbell):
+        with pytest.raises(ConfigError):
+            node2vec_walks(barbell, 1, 3, p=0)
+
+    def test_walks_follow_edges(self, barbell):
+        walks = node2vec_walks(barbell, num_walks=1, walk_length=5, p=0.5, q=2.0, rng=0)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert barbell.has_edge(a, b)
+
+    def test_low_p_increases_backtracking(self, barbell):
+        def backtrack_rate(p):
+            walks = node2vec_walks(barbell, num_walks=30, walk_length=6, p=p, q=1.0, rng=0)
+            back = total = 0
+            for walk in walks:
+                for i in range(2, len(walk)):
+                    total += 1
+                    back += walk[i] == walk[i - 2]
+            return back / total
+
+        assert backtrack_rate(0.05) > backtrack_rate(20.0)
+
+
+class TestNegativeSampling:
+    def test_negatives_are_non_edges(self, barbell):
+        negatives = sample_negative_pairs(barbell, 5, rng=0)
+        for u, v in negatives:
+            assert not barbell.has_edge(int(u), int(v))
+            assert u < v
+
+    def test_negatives_unique(self, barbell):
+        negatives = sample_negative_pairs(barbell, 6, rng=0)
+        assert len({tuple(p) for p in negatives}) == 6
+
+    def test_forbidden_pairs_avoided(self, barbell):
+        forbidden = {(0, 4), (0, 5)}
+        negatives = sample_negative_pairs(barbell, 4, rng=0, forbidden=forbidden)
+        assert not ({tuple(p) for p in negatives} & forbidden)
+
+    def test_too_dense_raises(self):
+        g = EntityGraph.from_edge_list(3, [(0, 1), (0, 2), (1, 2)])
+        with pytest.raises(GraphError):
+            sample_negative_pairs(g, 5, rng=0)
+
+    def test_single_node_graph_raises(self):
+        g = EntityGraph.from_edge_list(1, [])
+        with pytest.raises(GraphError):
+            sample_negative_pairs(g, 1, rng=0)
+
+    def test_corrupted_targets_shape(self):
+        out = sample_corrupted_targets(np.array([1, 2, 3]), 10, 4, rng=0)
+        assert out.shape == (3, 4)
+        assert out.min() >= 0 and out.max() < 10

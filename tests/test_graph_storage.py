@@ -1,0 +1,167 @@
+"""GraphStore: durability, versioning, recovery."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.graph import GraphStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return GraphStore(tmp_path / "store", num_nodes=20)
+
+
+class TestBasics:
+    def test_new_store_requires_num_nodes(self, tmp_path):
+        with pytest.raises(StorageError):
+            GraphStore(tmp_path / "s")
+
+    def test_put_and_current_graph(self, store):
+        store.put_edges([(0, 1), (2, 3)], weights=[0.5, 0.9])
+        g = store.current_graph()
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+
+    def test_put_validates_edges(self, store):
+        with pytest.raises(StorageError):
+            store.put_edges([(0, 0)])
+        with pytest.raises(StorageError):
+            store.put_edges([(0, 99)])
+        with pytest.raises(StorageError):
+            store.put_edges([(0, 1)], weights=[1.0, 2.0])
+
+    def test_delete_edges(self, store):
+        store.put_edges([(0, 1), (2, 3)])
+        store.delete_edges([(1, 0)])
+        g = store.current_graph()
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(2, 3)
+
+    def test_canonicalises_pairs(self, store):
+        store.put_edges([(5, 2)])
+        assert store.neighbors(2) == [(5, 1.0, 0)]
+        assert store.neighbors(5) == [(2, 1.0, 0)]
+
+
+class TestVersions:
+    def test_commit_and_load(self, store):
+        store.put_edges([(0, 1)])
+        v1 = store.commit_version("week-0")
+        store.put_edges([(2, 3)])
+        v2 = store.commit_version("week-1")
+        assert (v1, v2) == (1, 2)
+        assert store.load_version(v1).num_edges == 1
+        assert store.load_version(v2).num_edges == 2
+        assert store.load_version().num_edges == 2  # latest by default
+
+    def test_versions_metadata(self, store):
+        store.put_edges([(0, 1)])
+        store.commit_version("alpha")
+        meta = store.versions()
+        assert meta[0]["tag"] == "alpha"
+        assert meta[0]["edges"] == 1
+
+    def test_load_unknown_version_raises(self, store):
+        with pytest.raises(StorageError):
+            store.load_version(3)
+        with pytest.raises(StorageError):
+            store.load_version()  # nothing committed yet
+
+    def test_commit_clears_wal(self, store):
+        store.put_edges([(0, 1)])
+        store.commit_version()
+        assert not store._wal_path.exists()
+
+    def test_empty_commit(self, store):
+        v = store.commit_version()
+        assert store.load_version(v).num_edges == 0
+
+
+class TestReadPath:
+    def test_neighbors_merge_snapshot_and_memtable(self, store):
+        store.put_edges([(0, 1)], weights=[0.5])
+        store.commit_version()
+        store.put_edges([(0, 2)], weights=[0.7])
+        store.delete_edges([(0, 1)])
+        assert store.neighbors(0) == [(2, 0.7, 0)]
+
+    def test_neighbors_out_of_range(self, store):
+        with pytest.raises(StorageError):
+            store.neighbors(99)
+
+    def test_memtable_overwrite_updates_weight(self, store):
+        store.put_edges([(0, 1)], weights=[0.5])
+        store.put_edges([(0, 1)], weights=[0.8])
+        assert store.neighbors(0) == [(1, 0.8, 0)]
+
+
+class TestDurability:
+    def test_reopen_replays_wal(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1), (1, 2)])
+        del store
+        reopened = GraphStore(path)
+        assert reopened.current_graph().num_edges == 2
+
+    def test_reopen_after_commit(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        v = store.commit_version()
+        del store
+        reopened = GraphStore(path)
+        assert reopened.latest_version() == v
+        assert reopened.load_version().num_edges == 1
+
+    def test_num_nodes_mismatch_on_reopen(self, tmp_path):
+        path = tmp_path / "store"
+        GraphStore(path, num_nodes=10)
+        with pytest.raises(StorageError):
+            GraphStore(path, num_nodes=11)
+
+    def test_torn_tail_write_is_truncated(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        store.put_edges([(2, 3)])
+        # Simulate a crash mid-append: chop bytes off the last record.
+        data = store._wal_path.read_bytes()
+        store._wal_path.write_bytes(data[:-3])
+        reopened = GraphStore(path)
+        g = reopened.current_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)
+        # The corrupt tail is gone; new writes append cleanly.
+        reopened.put_edges([(4, 5)])
+        again = GraphStore(path)
+        assert again.current_graph().has_edge(4, 5)
+
+    def test_corrupted_crc_stops_replay(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        store.put_edges([(2, 3)])
+        data = bytearray(store._wal_path.read_bytes())
+        # Flip a payload byte in the *second* record.
+        header_size = struct.calcsize("<II")
+        first_len = struct.unpack_from("<II", data, 0)[0]
+        offset = header_size + first_len + header_size + 2
+        data[offset] ^= 0xFF
+        store._wal_path.write_bytes(bytes(data))
+        reopened = GraphStore(path)
+        g = reopened.current_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)
+
+    def test_snapshot_missing_raises(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        v = store.commit_version()
+        (path / f"snapshot-{v:06d}.npz").unlink()
+        with pytest.raises(StorageError):
+            store.load_version(v)

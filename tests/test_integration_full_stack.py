@@ -1,0 +1,138 @@
+"""Full-stack integration: files → offline pipeline → store → API → explain.
+
+One scenario exercising nearly every subsystem the way a deployment would:
+
+1. export the world's logs and Entity Dict to files, reload them;
+2. two weekly refreshes (drifted data) persisting graph versions;
+3. store compaction, checkpointing the ALPC model, reloading it;
+4. daily preference refresh + an incremental single-user update;
+5. the serving API end to end, with explanations and calibration checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BehaviorConfig,
+    BehaviorLogGenerator,
+    load_entity_dict,
+    load_events,
+    save_entity_dict,
+    save_events,
+)
+from repro.embeddings import SkipGramConfig
+from repro.embeddings.mlm import MLMConfig
+from repro.embeddings.semantic import SemanticEncoderConfig
+from repro.eval import reliability_report, roc_auc
+from repro.nn import load_checkpoint, save_checkpoint
+from repro.online import EGLSystem, explain_targeting
+from repro.online.api import EGLService, ExpandRequest, TargetRequest
+from repro.text.sequence_extractor import UserEntitySequence
+from repro.trmp import ALPCConfig, ALPCModel, TRMPConfig
+
+
+@pytest.fixture(scope="module")
+def stack(world, tmp_path_factory):
+    base = tmp_path_factory.mktemp("full_stack")
+    generator = BehaviorLogGenerator(world, BehaviorConfig(seed=5))
+
+    # 1. Data round-trips through files, as external data would arrive.
+    week0 = generator.generate_week(0)
+    events_path = base / "week0.jsonl"
+    save_events(week0, events_path)
+    week0 = load_events(events_path)
+
+    config = TRMPConfig(
+        skipgram=SkipGramConfig(epochs=8, seed=2),
+        semantic=SemanticEncoderConfig(mlm=MLMConfig(epochs=4, seed=3)),
+        alpc=ALPCConfig(epochs=20, seed=1),
+    )
+    system = EGLSystem(world, config, store_path=base / "geabase")
+    system.weekly_refresh(week0)
+    system.weekly_refresh(generator.generate_week(1))
+    system.daily_preference_refresh(week0 + generator.generate_week(1))
+    return base, system, generator
+
+
+class TestOfflineArtifacts:
+    def test_store_has_two_versions_then_compacts(self, stack):
+        base, system, _ = stack
+        assert [v["version"] for v in system.store.versions()] == [1, 2]
+        removed = system.store.compact(keep_last=1)
+        assert removed == 1
+        assert system.store.load_version().num_edges > 0
+
+    def test_entity_dict_file_round_trip(self, stack, world):
+        base, system, _ = stack
+        dict_path = base / "dict.tsv"
+        save_entity_dict(system.pipeline.entity_dict, dict_path)
+        reloaded = load_entity_dict(dict_path)
+        assert len(reloaded) == world.num_entities
+
+    def test_alpc_checkpoint_round_trip(self, stack, world):
+        base, system, _ = stack
+        run = system.pipeline.weekly_runs[-1]
+        path = base / "alpc.npz"
+        save_checkpoint(run.alpc.model, path)
+        clone = ALPCModel(run.candidate.node_features.shape[1], run.alpc.config)
+        load_checkpoint(clone, path)
+        src, dst, _ = run.split.train_graph.directed_edges()
+        from repro.tensor import Tensor, no_grad
+
+        with no_grad():
+            x = Tensor(run.candidate.node_features)
+            a = run.alpc.model.encode(x, src, dst, world.num_entities).data
+            b = clone.encode(x, src, dst, world.num_entities).data
+        np.testing.assert_allclose(a, b)
+
+    def test_link_probabilities_sane(self, stack):
+        _, system, _ = stack
+        run = system.pipeline.weekly_runs[-1]
+        pairs, labels = run.split.test_pairs_and_labels()
+        probs = run.alpc.predict_pairs(pairs)
+        assert roc_auc(labels, probs) > 0.7
+        report = reliability_report(labels, probs, num_bins=5)
+        assert report.brier < 0.3
+
+
+class TestServingPath:
+    def test_api_flow_with_explanations(self, stack, world):
+        _, system, generator = stack
+        service = EGLService(system)
+        assert service.health().payload["ensemble_ready"]
+
+        phrase = max(world.entities, key=lambda e: e.popularity).name
+        expand = service.expand(ExpandRequest(phrases=[phrase], depth=2))
+        assert expand.ok and len(expand.payload["entities"]) >= 1
+
+        ids = [e["entity_id"] for e in expand.payload["entities"]][:8]
+        target = service.target(TargetRequest(entity_ids=ids, k=10))
+        assert target.ok and len(target.payload["users"]) == 10
+
+        # Explanations ground the selection in user histories.
+        view = system.expand([phrase], depth=2)
+        result = system.target_users(ids, k=10)
+        events = generator.generate_week(2)
+        sequences = system.pipeline.extractor.extract_sequences(events)
+        report = explain_targeting(
+            view, result.users, system.preference_store, sequences,
+            system.pipeline.entity_dict,
+        )
+        assert "top users" in report
+
+    def test_incremental_preference_update_changes_ranking(self, stack, world):
+        _, system, _ = stack
+        store = system.preference_store
+        target_entity = world.entities[0].entity_id
+        # Make an arbitrary user the heaviest interactor with that entity.
+        user = 3
+        store.update_user(UserEntitySequence(user, [target_entity] * 10))
+        top = store.top_users_for_entity(target_entity, k=1)
+        assert top[0].user_id == user
+
+    def test_feedback_loops_into_next_week(self, stack):
+        _, system, generator = stack
+        system.record_choice(0, [1])
+        report = system.weekly_refresh(generator.generate_week(3))
+        assert report.week == 2
+        assert len(system.feedback) == 0

@@ -1,0 +1,123 @@
+"""Targeted tests for corners the module-level suites do not reach."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import rng as rng_mod
+from repro.baselines import EXTRA_BASELINE_NAMES, evaluate_link_predictor, make_baseline
+from repro.datasets import World, WorldConfig
+from repro.gnn import message_edges
+from repro.graph import EntityGraph
+from repro.simulation import ConversionModel, make_service
+from repro.tensor import Tensor, init
+
+
+class TestRngHelpers:
+    def test_none_gives_default_seeded_stream(self):
+        a = rng_mod.ensure_rng(None).random(3)
+        b = rng_mod.ensure_rng(None).random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_mod.ensure_rng(g) is g
+
+    def test_spawn_independent_children(self):
+        parent = np.random.default_rng(0)
+        children = rng_mod.spawn(parent, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] and draws[1] != draws[2]
+
+
+class TestInitializers:
+    def test_all_trainable_and_shaped(self, rng):
+        for factory in (init.zeros, init.ones):
+            t = factory((3, 4))
+            assert t.requires_grad and t.shape == (3, 4)
+        for factory in (init.normal, init.xavier_uniform, init.xavier_normal, init.kaiming_uniform):
+            t = factory((3, 4), rng)
+            assert t.requires_grad and t.shape == (3, 4)
+
+    def test_xavier_uniform_bound(self, rng):
+        t = init.xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(t.data).max() <= bound + 1e-12
+
+    def test_normal_std(self, rng):
+        t = init.normal((200, 200), rng, std=0.05)
+        assert abs(t.data.std() - 0.05) < 0.005
+
+    def test_fans_vector(self, rng):
+        t = init.xavier_uniform((10,), rng)
+        assert t.shape == (10,)
+
+
+class TestMessageEdges:
+    def test_matches_directed_edges(self):
+        g = EntityGraph.from_edge_list(4, [(0, 1), (2, 3)])
+        src, dst, rel = message_edges(g)
+        s2, d2, r2 = g.directed_edges()
+        np.testing.assert_array_equal(src, s2)
+        np.testing.assert_array_equal(dst, d2)
+        np.testing.assert_array_equal(rel, r2)
+
+
+class TestWorldTypeNoise:
+    def test_zero_noise_keeps_types_topical(self):
+        world = World(WorldConfig(num_entities=80, num_users=10, seed=1, type_noise=0.0))
+        for e in world.entities:
+            assert e.type_id in world._topic_types[e.primary_topic]
+
+    def test_full_noise_breaks_type_topic_link(self):
+        world = World(WorldConfig(num_entities=200, num_users=10, seed=1, type_noise=1.0))
+        topical = np.mean(
+            [e.type_id in world._topic_types[e.primary_topic] for e in world.entities]
+        )
+        assert topical < 0.3  # only chance-level agreement remains
+
+
+class TestConversionMonotonicity:
+    @given(st.floats(2.0, 20.0), st.floats(0.05, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_calibration_holds_across_slopes_and_rates(self, slope, base_rate):
+        world = World(WorldConfig(num_entities=60, num_users=80, seed=3))
+        service = make_service(world, "svc", topic=0, base_conversion_rate=base_rate, rng=0)
+        model = ConversionModel(world, slope=slope)
+        probs = model.conversion_probabilities(service)
+        assert probs.mean() == pytest.approx(base_rate, abs=0.02)
+        # Monotone in affinity.
+        affinity = service.user_affinity(world)
+        order = np.argsort(affinity)
+        assert (np.diff(probs[order]) >= -1e-9).all()
+
+
+class TestExtraBaselines:
+    @pytest.mark.parametrize("name", EXTRA_BASELINE_NAMES)
+    def test_extra_gnn_baselines_work(self, name, split, candidate):
+        model = make_baseline(name, candidate.node_features.shape[1])
+        model.epochs = 20
+        model.fit(split, candidate.node_features)
+        assert evaluate_link_predictor(model, split).auc > 0.6
+
+
+class TestTensorEdgeCases:
+    def test_scalar_tensor_arithmetic(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, 4.0)
+
+    def test_chained_reshape_identity(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        t = Tensor(a, requires_grad=True)
+        out = t.reshape(6, 4).reshape(2, 3, 4)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * a)
+
+    def test_sum_negative_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        t = Tensor(a, requires_grad=True)
+        t.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(a))

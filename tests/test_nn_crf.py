@@ -1,0 +1,139 @@
+"""Linear-chain CRF: exact partition, Viterbi, training behaviour."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import logsumexp as scipy_lse
+
+from repro.errors import ShapeError
+from repro.nn import LinearChainCRF
+from repro.tensor import Adam, Tensor
+
+
+def brute_force_scores(crf: LinearChainCRF, emissions: np.ndarray) -> dict[tuple, float]:
+    """Score of every tag path for a single (T, K) emission matrix."""
+    T, K = emissions.shape
+    trans = crf.transitions.data
+    start = crf.start_scores.data
+    end = crf.end_scores.data
+    scores = {}
+    for path in itertools.product(range(K), repeat=T):
+        s = start[path[0]] + end[path[-1]]
+        s += sum(emissions[t, path[t]] for t in range(T))
+        s += sum(trans[path[t - 1], path[t]] for t in range(1, T))
+        scores[path] = s
+    return scores
+
+
+def random_crf(rng: np.random.Generator, num_tags: int) -> LinearChainCRF:
+    crf = LinearChainCRF(num_tags)
+    crf.transitions.data[...] = rng.normal(size=(num_tags, num_tags))
+    crf.start_scores.data[...] = rng.normal(size=num_tags)
+    crf.end_scores.data[...] = rng.normal(size=num_tags)
+    return crf
+
+
+class TestExactness:
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_matches_enumeration(self, T, K, seed):
+        rng = np.random.default_rng(seed)
+        crf = random_crf(rng, K)
+        emissions = rng.normal(size=(1, T, K))
+        scores = brute_force_scores(crf, emissions[0])
+        expected = scipy_lse(list(scores.values()))
+        actual = crf._partition(Tensor(emissions), np.ones((1, T), bool)).data[0]
+        assert abs(actual - expected) < 1e-9
+
+    @given(st.integers(2, 4), st.integers(2, 4), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_viterbi_matches_argmax_enumeration(self, T, K, seed):
+        rng = np.random.default_rng(seed)
+        crf = random_crf(rng, K)
+        emissions = rng.normal(size=(1, T, K))
+        scores = brute_force_scores(crf, emissions[0])
+        best = max(scores, key=scores.get)
+        decoded = crf.decode(emissions, np.ones((1, T), bool))[0]
+        assert tuple(decoded) == best
+
+    def test_gold_score_consistency(self, rng):
+        crf = random_crf(rng, 3)
+        emissions = rng.normal(size=(1, 4, 3))
+        tags = np.array([[0, 2, 1, 1]])
+        mask = np.ones((1, 4), bool)
+        gold = crf._sequence_score(Tensor(emissions), tags, mask).data[0]
+        expected = brute_force_scores(crf, emissions[0])[(0, 2, 1, 1)]
+        assert abs(gold - expected) < 1e-10
+
+    def test_nll_is_positive_probability(self, rng):
+        crf = random_crf(rng, 3)
+        emissions = Tensor(rng.normal(size=(2, 5, 3)))
+        tags = rng.integers(0, 3, size=(2, 5))
+        nll = crf.neg_log_likelihood(emissions, tags)
+        assert float(nll.data) > 0  # -log p, p < 1
+
+
+class TestMasking:
+    def test_masked_suffix_matches_shorter_sequence(self, rng):
+        crf = random_crf(rng, 3)
+        emissions = rng.normal(size=(1, 5, 3))
+        tags = rng.integers(0, 3, size=(1, 5))
+        mask = np.array([[True, True, True, False, False]])
+        nll_masked = crf.neg_log_likelihood(Tensor(emissions), tags, mask)
+        nll_short = crf.neg_log_likelihood(
+            Tensor(emissions[:, :3]), tags[:, :3], np.ones((1, 3), bool)
+        )
+        assert abs(float(nll_masked.data) - float(nll_short.data)) < 1e-10
+
+    def test_decode_respects_mask_length(self, rng):
+        crf = random_crf(rng, 3)
+        emissions = rng.normal(size=(2, 6, 3))
+        mask = np.array([[True] * 6, [True] * 2 + [False] * 4])
+        paths = crf.decode(emissions, mask)
+        assert len(paths[0]) == 6
+        assert len(paths[1]) == 2
+
+    def test_invalid_first_token_mask_raises(self, rng):
+        crf = random_crf(rng, 3)
+        with pytest.raises(ShapeError):
+            crf.neg_log_likelihood(
+                Tensor(rng.normal(size=(1, 3, 3))),
+                np.zeros((1, 3), dtype=int),
+                np.array([[False, True, True]]),
+            )
+
+    def test_wrong_tag_count_raises(self, rng):
+        crf = LinearChainCRF(4)
+        with pytest.raises(ShapeError):
+            crf.neg_log_likelihood(Tensor(rng.normal(size=(1, 3, 5))), np.zeros((1, 3), int))
+
+    def test_decode_requires_3d(self):
+        crf = LinearChainCRF(3)
+        with pytest.raises(ShapeError):
+            crf.decode(np.zeros((3, 3)))
+
+
+class TestLearning:
+    def test_training_recovers_transition_structure(self, rng):
+        # Data generated with a strict tag alternation 0 -> 1 -> 0 ...
+        crf = LinearChainCRF(2)
+        emission_param = Tensor(np.zeros((2, 2)), requires_grad=True)
+        tags = np.array([[i % 2 for i in range(6)]] * 8)
+        emissions_base = rng.normal(size=(8, 6, 2)) * 0.1
+        opt = Adam(crf.parameters() + [emission_param], lr=0.1)
+        first = None
+        for step in range(60):
+            opt.zero_grad()
+            emissions = Tensor(emissions_base) + emission_param.reshape(1, 1, 2, 2).sum(axis=3)
+            loss = crf.neg_log_likelihood(emissions, tags)
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first * 0.5
+        trans = crf.transitions.data
+        assert trans[0, 1] > trans[0, 0]
+        assert trans[1, 0] > trans[1, 1]

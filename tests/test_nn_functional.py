@@ -1,0 +1,101 @@
+"""Loss functions."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax as scipy_log_softmax
+
+from repro.nn.functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    hinge_margin_loss,
+    mse_loss,
+)
+from repro.tensor import Tensor
+
+from helpers import assert_gradcheck
+
+
+class TestBCE:
+    def test_matches_manual_formula(self, rng):
+        z = rng.normal(size=(20,))
+        y = (rng.random(20) < 0.5).astype(float)
+        p = 1 / (1 + np.exp(-z))
+        expected = -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+        actual = float(binary_cross_entropy_with_logits(Tensor(z), y).data)
+        assert abs(actual - expected) < 1e-10
+
+    def test_stable_for_extreme_logits(self):
+        z = Tensor(np.array([-500.0, 500.0]))
+        y = np.array([0.0, 1.0])
+        loss = binary_cross_entropy_with_logits(z, y)
+        assert np.isfinite(float(loss.data))
+        assert float(loss.data) < 1e-6
+
+    def test_gradcheck(self, rng):
+        z = rng.normal(size=(6,))
+        y = (rng.random(6) < 0.5).astype(float)
+        assert_gradcheck(lambda x: binary_cross_entropy_with_logits(x, y), z)
+
+    def test_weighted(self, rng):
+        z = rng.normal(size=(4,))
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        w = np.array([2.0, 0.0, 0.0, 0.0])
+        weighted = float(binary_cross_entropy_with_logits(Tensor(z), y, weights=w).data)
+        only_first = float(
+            binary_cross_entropy_with_logits(Tensor(z[:1]), y[:1]).data
+        )
+        assert abs(weighted - only_first) < 1e-10
+
+    def test_weighted_gradcheck(self, rng):
+        z = rng.normal(size=(5,))
+        y = (rng.random(5) < 0.5).astype(float)
+        w = rng.random(5) + 0.1
+        assert_gradcheck(lambda x: binary_cross_entropy_with_logits(x, y, weights=w), z)
+
+
+class TestCrossEntropy:
+    def test_matches_scipy(self, rng):
+        logits = rng.normal(size=(5, 7))
+        targets = rng.integers(0, 7, size=5)
+        expected = -scipy_log_softmax(logits, axis=-1)[np.arange(5), targets].mean()
+        actual = float(cross_entropy(Tensor(logits), targets).data)
+        assert abs(actual - expected) < 1e-10
+
+    def test_gradcheck(self, rng):
+        logits = rng.normal(size=(4, 5))
+        targets = rng.integers(0, 5, size=4)
+        assert_gradcheck(lambda x: cross_entropy(x, targets), logits)
+
+    def test_masked_positions_excluded(self, rng):
+        logits = rng.normal(size=(2, 3, 4))
+        targets = rng.integers(0, 4, size=(2, 3))
+        mask = np.zeros((2, 3), bool)
+        mask[0, 0] = True
+        masked = float(cross_entropy(Tensor(logits), targets, mask=mask).data)
+        single = float(cross_entropy(Tensor(logits[0:1, 0:1]), targets[0:1, 0:1]).data)
+        assert abs(masked - single) < 1e-10
+
+    def test_masked_gradcheck(self, rng):
+        logits = rng.normal(size=(2, 3, 4))
+        targets = rng.integers(0, 4, size=(2, 3))
+        mask = rng.random((2, 3)) < 0.6
+        mask[0, 0] = True
+        assert_gradcheck(lambda x: cross_entropy(x, targets, mask=mask), logits)
+
+
+class TestOtherLosses:
+    def test_mse(self, rng):
+        pred = rng.normal(size=(8,))
+        target = rng.normal(size=(8,))
+        expected = ((pred - target) ** 2).mean()
+        assert abs(float(mse_loss(Tensor(pred), target).data) - expected) < 1e-12
+
+    def test_hinge_zero_when_margin_met(self):
+        pos = Tensor(np.array([5.0, 5.0]))
+        neg = Tensor(np.array([1.0, 1.0]))
+        assert float(hinge_margin_loss(pos, neg, margin=1.0).data) == 0.0
+
+    def test_hinge_positive_when_violated(self):
+        pos = Tensor(np.array([0.0]))
+        neg = Tensor(np.array([0.0]))
+        assert float(hinge_margin_loss(pos, neg, margin=1.0).data) == pytest.approx(1.0)

@@ -1,0 +1,156 @@
+"""Dense layers: Linear, MLP, Embedding, LayerNorm, attention, transformer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    MultiHeadAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.tensor import Adam, Tensor
+
+from helpers import assert_gradcheck
+
+
+class TestLinear:
+    def test_shapes_and_affine(self, rng):
+        layer = Linear(4, 3, rng=0)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 3)
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, rng=0, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = Linear(3, 2, rng=0)
+        x = rng.normal(size=(4, 3))
+        assert_gradcheck(lambda t: (layer(t) ** 2).sum(), x)
+
+
+class TestMLP:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MLP([4])
+        with pytest.raises(ConfigError):
+            MLP([4, 2], activation="swish")
+
+    def test_forward_shape(self, rng):
+        mlp = MLP([4, 8, 8, 1], rng=0)
+        assert mlp(Tensor(rng.normal(size=(6, 4)))).shape == (6, 1)
+
+    def test_learns_xor_like_function(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = (np.sign(x[:, 0] * x[:, 1]) + 1) / 2  # XOR of signs
+        mlp = MLP([2, 16, 1], rng=0, activation="tanh")
+        opt = Adam(mlp.parameters(), lr=0.03)
+        from repro.nn.functional import binary_cross_entropy_with_logits
+
+        for _ in range(300):
+            opt.zero_grad()
+            logits = mlp(Tensor(x)).reshape(200)
+            loss = binary_cross_entropy_with_logits(logits, y)
+            loss.backward()
+            opt.step()
+        preds = mlp(Tensor(x)).data.reshape(-1) > 0
+        assert (preds == (y == 1)).mean() > 0.9
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=0)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_gradient_accumulates_on_repeats(self):
+        emb = Embedding(5, 2, rng=0)
+        out = emb(np.array([1, 1, 1]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        ln = LayerNorm(16)
+        out = ln(Tensor(rng.normal(loc=5.0, scale=3.0, size=(8, 16)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(8), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(8), atol=1e-2)
+
+    def test_gradcheck(self, rng):
+        ln = LayerNorm(5)
+        x = rng.normal(size=(3, 5))
+        assert_gradcheck(lambda t: (ln(t) ** 2).sum(), x)
+
+    def test_gamma_beta_trainable(self):
+        ln = LayerNorm(4)
+        assert len(ln.parameters()) == 2
+
+
+class TestMultiHeadAttention:
+    def test_dim_head_validation(self):
+        with pytest.raises(ConfigError):
+            MultiHeadAttention(10, 3)
+
+    def test_self_attention_shape(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=0)
+        out = mha(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_masked_positions_do_not_influence(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=0)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[True, True, False, False]])
+        out1 = mha(Tensor(x), key_padding_mask=mask).data
+        x2 = x.copy()
+        x2[0, 2:] = 99.0  # change only masked keys
+        out2 = mha(Tensor(x2), key_padding_mask=mask).data
+        # Valid *query* rows attend only to unmasked keys, so they match.
+        np.testing.assert_allclose(out1[0, :2], out2[0, :2], atol=1e-10)
+
+    def test_cross_attention(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=0)
+        q = Tensor(rng.normal(size=(2, 3, 8)))
+        kv = Tensor(rng.normal(size=(2, 6, 8)))
+        assert mha(q, key=kv).shape == (2, 3, 8)
+
+    def test_gradients_reach_all_projections(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=0)
+        out = mha(Tensor(rng.normal(size=(2, 4, 8))))
+        (out * out).mean().backward()
+        assert all(p.grad is not None for p in mha.parameters())
+
+
+class TestTransformer:
+    def test_layer_residual_shape(self, rng):
+        layer = TransformerEncoderLayer(8, 2, rng=0)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_encoder_shape_and_grads(self, rng):
+        enc = TransformerEncoder(vocab_size=30, dim=8, num_layers=2, num_heads=2, max_len=12, rng=0)
+        ids = rng.integers(0, 30, size=(3, 7))
+        out = enc(ids)
+        assert out.shape == (3, 7, 8)
+        (out * out).mean().backward()
+        assert all(p.grad is not None for p in enc.parameters())
+
+    def test_padding_mask_changes_valid_outputs_only_via_attention(self, rng):
+        enc = TransformerEncoder(vocab_size=30, dim=8, num_layers=1, num_heads=2, max_len=12, rng=0)
+        ids = rng.integers(1, 30, size=(1, 6))
+        mask = np.array([[True] * 4 + [False] * 2])
+        out1 = enc(ids, key_padding_mask=mask).data
+        ids2 = ids.copy()
+        ids2[0, 4:] = 1  # change padded token ids
+        out2 = enc(ids2, key_padding_mask=mask).data
+        np.testing.assert_allclose(out1[0, :4], out2[0, :4], atol=1e-10)

@@ -1,0 +1,117 @@
+"""Module base class: parameter discovery, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Dropout, Linear, MLP, Module, ModuleList
+from repro.tensor import Tensor
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(3, 2, rng=0)
+        self.blocks = ModuleList([Linear(2, 2, rng=1), Linear(2, 1, rng=2)])
+        self.scale = Tensor(np.ones(1), requires_grad=True)
+        self.buffer = Tensor(np.zeros(1))  # not trainable: excluded
+
+    def forward(self, x):
+        x = self.linear(x)
+        for block in self.blocks:
+            x = block(x)
+        return x * self.scale
+
+
+class TestParameterDiscovery:
+    def test_counts_nested_parameters(self):
+        m = Nested()
+        names = dict(m.named_parameters())
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "scale" in names
+        assert "buffer" not in names
+        # 3 linears × 2 params + scale
+        assert len(m.parameters()) == 7
+
+    def test_num_parameters(self):
+        m = Linear(3, 2, rng=0)
+        assert m.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears(self):
+        m = Nested()
+        out = m(Tensor(np.ones((4, 3))))
+        (out * out).mean().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        m = MLP([4, 8, 2], rng=0, dropout=0.5)
+        assert m.training
+        m.eval()
+        assert all(not mod.training for mod in m.modules())
+        m.train()
+        assert all(mod.training for mod in m.modules())
+
+    def test_dropout_respects_eval(self):
+        d = Dropout(0.9, rng=0)
+        x = Tensor(np.ones(1000))
+        d.eval()
+        np.testing.assert_allclose(d(x).data, x.data)
+        d.train()
+        assert (d(x).data == 0).sum() > 500
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = Nested()
+        b = Nested()
+        # Make them differ first.
+        for p in b.parameters():
+            p.data += 1.0
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = Linear(2, 2, rng=0)
+        state = m.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.any(m.weight.data == 99.0)
+
+    def test_missing_key_raises(self):
+        m = Linear(2, 2, rng=0)
+        state = m.state_dict()
+        del state["bias"]
+        with pytest.raises(ShapeError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        m = Linear(2, 2, rng=0)
+        state = m.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(ShapeError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Linear(2, 2, rng=0)
+        state = m.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ShapeError):
+            m.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_append_iter_len_getitem(self):
+        ml = ModuleList()
+        ml.append(Linear(1, 1, rng=0))
+        ml.append(Linear(1, 1, rng=1))
+        assert len(ml) == 2
+        assert isinstance(ml[1], Linear)
+        assert len(list(ml)) == 2

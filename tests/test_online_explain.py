@@ -1,0 +1,87 @@
+"""Marketer-facing explanations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import EntityGraph
+from repro.online import GraphReasoner, explain_expansion, explain_targeting, explain_user
+from repro.preference import PreferenceStore
+from repro.text import EntityDict, EntityEntry
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+@pytest.fixture()
+def setup():
+    entity_dict = EntityDict(
+        [
+            EntityEntry(0, "nba", 3, "sport_event"),
+            EntityEntry(1, "lakers", 2, "sport_team"),
+            EntityEntry(2, "james", 1, "celebrity"),
+        ]
+    )
+    graph = EntityGraph.from_edge_list(3, [(0, 1), (1, 2)], weights=[0.9, 0.8])
+    reasoner = GraphReasoner(graph, entity_dict)
+    view = reasoner.expand(["nba"], depth=2)
+    sequences = {
+        0: UserEntitySequence(0, [0, 0, 1]),
+        1: UserEntitySequence(1, [2]),
+        2: UserEntitySequence(2, []),
+    }
+    return entity_dict, view, sequences
+
+
+class TestExpansionText:
+    def test_contains_paths_and_types(self, setup):
+        _, view, _ = setup
+        text = explain_expansion(view)
+        assert "seeds: nba" in text
+        assert "nba > lakers > james" in text
+        assert "sport_team" in text
+
+    def test_max_entities_truncates(self, setup):
+        _, view, _ = setup
+        text = explain_expansion(view, max_entities=1)
+        assert "lakers" not in text
+
+
+class TestUserExplanation:
+    def test_drivers_from_history(self, setup):
+        entity_dict, view, sequences = setup
+        explanation = explain_user(0, 1.5, [0, 1, 2], sequences, entity_dict)
+        names = [d[0] for d in explanation.drivers]
+        assert names[0] == "nba"  # 2/3 of the history
+        assert "lakers" in names
+        assert "interacted with nba" in explanation.to_text()
+
+    def test_no_history_falls_back_to_similarity_text(self, setup):
+        entity_dict, _, sequences = setup
+        explanation = explain_user(2, 0.4, [0], sequences, entity_dict)
+        assert explanation.drivers == []
+        assert "embedding similarity" in explanation.to_text()
+
+    def test_unknown_user_handled(self, setup):
+        entity_dict, _, sequences = setup
+        explanation = explain_user(99, 0.1, [0], sequences, entity_dict)
+        assert explanation.drivers == []
+
+    def test_requires_chosen_entities(self, setup):
+        entity_dict, _, sequences = setup
+        with pytest.raises(ConfigError):
+            explain_user(0, 1.0, [], sequences, entity_dict)
+
+    def test_max_drivers_cap(self, setup):
+        entity_dict, _, sequences = setup
+        explanation = explain_user(0, 1.0, [0, 1], sequences, entity_dict, max_drivers=1)
+        assert len(explanation.drivers) == 1
+
+
+class TestFullReport:
+    def test_report_combines_everything(self, setup, rng):
+        entity_dict, view, sequences = setup
+        store = PreferenceStore(rng.normal(size=(3, 4))).build(sequences, num_users=3)
+        users = store.top_users_for_entities([0, 1, 2], k=2)
+        report = explain_targeting(view, users, store, sequences, entity_dict)
+        assert "top users" in report
+        assert "seeds: nba" in report
+        assert f"user {users[0].user_id}" in report

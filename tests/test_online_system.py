@@ -1,0 +1,111 @@
+"""EGLSystem end-to-end integration (offline refresh → online targeting)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import BehaviorConfig, BehaviorLogGenerator
+from repro.embeddings import SkipGramConfig
+from repro.embeddings.mlm import MLMConfig
+from repro.embeddings.semantic import SemanticEncoderConfig
+from repro.errors import NotFittedError
+from repro.online import EGLSystem
+from repro.simulation import ABTestHarness, ConversionModel, RuleBasedTargeting, default_services
+from repro.trmp import ALPCConfig, EnsembleConfig, TRMPConfig
+
+
+@pytest.fixture(scope="module")
+def system(world, tmp_path_factory):
+    config = TRMPConfig(
+        skipgram=SkipGramConfig(epochs=8, seed=2),
+        semantic=SemanticEncoderConfig(mlm=MLMConfig(epochs=4, seed=3)),
+        alpc=ALPCConfig(epochs=20, seed=1),
+        ensemble=EnsembleConfig(epochs=12, seed=0),
+    )
+    return EGLSystem(world, config, store_path=tmp_path_factory.mktemp("geabase"))
+
+
+@pytest.fixture(scope="module")
+def generator(world):
+    return BehaviorLogGenerator(world, BehaviorConfig(seed=5))
+
+
+@pytest.fixture(scope="module")
+def refreshed(system, generator):
+    reports = [system.weekly_refresh(generator.generate_week(w)) for w in range(2)]
+    recent = generator.generate(start_day=50, num_days=30, rng=77)
+    covered = system.daily_preference_refresh(recent)
+    return reports, covered, recent
+
+
+class TestOfflineCadence:
+    def test_weekly_reports(self, refreshed):
+        reports, _, _ = refreshed
+        assert reports[0].week == 0 and reports[1].week == 1
+        assert reports[0].graph_version == 1 and reports[1].graph_version == 2
+        assert not reports[0].ensemble_trained
+        assert reports[1].ensemble_trained
+        assert all(r.num_relations > 0 for r in reports)
+
+    def test_store_versions_match_weeks(self, system, refreshed):
+        versions = system.store.versions()
+        assert [v["tag"] for v in versions] == ["week-0", "week-1"]
+
+    def test_daily_refresh_covers_users(self, refreshed, world):
+        _, covered, _ = refreshed
+        assert covered > world.num_users * 0.8
+
+    def test_targeting_before_daily_refresh_raises(self, world):
+        fresh = EGLSystem(world)
+        with pytest.raises(NotFittedError):
+            fresh.target_users([0], k=5)
+
+
+class TestOnlineFlow:
+    def test_expand_uses_stored_graph(self, system, refreshed, world):
+        entity = world.entities[0]
+        view = system.expand([entity.name], depth=2)
+        assert view.seeds == [entity.name.lower()]
+        assert len(view.entities) >= 1
+
+    def test_target_users_for_phrases(self, system, refreshed, world):
+        entity = world.entities[1]
+        view, result = system.target_users_for_phrases([entity.name], depth=2, k=15)
+        assert len(result.users) == 15
+        assert result.elapsed_seconds < 5.0
+        scores = [u.score for u in result.users]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cold_phrase_resolves_semantically(self, system, refreshed, world):
+        word = world.topic_words[2][0]
+        view = system.expand([f"{word} {word}"], depth=1)
+        assert len(view.entities) >= 1
+
+    def test_record_choice_feeds_next_week(self, system, refreshed, generator):
+        system.record_choice(0, [5, 9])
+        assert len(system.feedback) == 2
+        report = system.weekly_refresh(generator.generate_week(2))
+        assert report.week == 2
+        assert len(system.feedback) == 0  # drained into training
+
+    def test_targeted_users_have_high_affinity(self, system, refreshed, world):
+        services = default_services(world, rng=3)
+        service = services[0]
+        _, result = system.target_users_for_phrases(service.phrases, depth=2, k=25)
+        aff = service.user_affinity(world)
+        assert aff[np.array(result.user_ids)].mean() > aff.mean() * 1.3
+
+
+class TestABHarness:
+    def test_rows_have_sane_fields(self, system, refreshed, world):
+        _, _, recent = refreshed
+        services = default_services(world, rng=3)[:2]
+        rule = RuleBasedTargeting(world, system.pipeline.entity_dict, recent)
+        harness = ABTestHarness(world, system, rule, ConversionModel(world))
+        rows = harness.run(services, audience_size=30, repetitions=3, rng=5)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.egl_conversions >= 0
+            assert 0 <= row.egl_cvr <= 1
+            assert 0 <= row.control_cvr <= 1
+            assert row.running_time_seconds < 10
+            assert row.exposure_delta_pct == pytest.approx(0.0)

@@ -1,0 +1,64 @@
+"""Online targeting wrapper and marketer feedback recorder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.online import FeedbackRecorder, UserTargeting
+from repro.preference import PreferenceStore
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+@pytest.fixture()
+def targeting(rng):
+    vectors = rng.normal(size=(8, 4))
+    sequences = {
+        0: UserEntitySequence(0, [0, 1]),
+        1: UserEntitySequence(1, [2, 3]),
+        2: UserEntitySequence(2, [4]),
+    }
+    store = PreferenceStore(vectors).build(sequences, num_users=4)
+    return UserTargeting(store)
+
+
+class TestTargeting:
+    def test_result_fields(self, targeting):
+        result = targeting.target([0, 1], k=2)
+        assert len(result.users) == 2
+        assert result.entity_ids == [0, 1]
+        assert result.elapsed_seconds >= 0
+        assert result.user_ids == [u.user_id for u in result.users]
+
+    def test_k_validation(self, targeting):
+        with pytest.raises(ConfigError):
+            targeting.target([0], k=0)
+
+    def test_weights_forwarded(self, targeting):
+        weighted = targeting.target([0, 4], k=3, weights=[1000.0, 0.001])
+        pure = targeting.target([0], k=3)
+        assert weighted.user_ids == pure.user_ids
+
+
+class TestFeedbackRecorder:
+    def test_record_and_pairs(self):
+        recorder = FeedbackRecorder()
+        recorder.record_relation(3, 1)
+        recorder.record_relation(1, 3)  # duplicate, canonicalised
+        recorder.record_relation(2, 2)  # self relation ignored
+        assert len(recorder) == 1
+        np.testing.assert_array_equal(recorder.pairs(), [[1, 3]])
+
+    def test_expansion_choice(self):
+        recorder = FeedbackRecorder()
+        recorder.record_expansion_choice(0, [5, 7])
+        assert len(recorder) == 2
+        keys = {tuple(p) for p in recorder.pairs()}
+        assert keys == {(0, 5), (0, 7)}
+
+    def test_drain_resets(self):
+        recorder = FeedbackRecorder()
+        recorder.record_relation(0, 1)
+        drained = recorder.drain()
+        assert len(drained) == 1
+        assert len(recorder) == 0
+        assert recorder.pairs().shape == (0, 2)

@@ -1,0 +1,135 @@
+"""User entity preference: embeddings and the serving store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.preference import (
+    PreferenceStore,
+    preference_scores,
+    user_embedding,
+    user_embedding_matrix,
+)
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+@pytest.fixture()
+def embeddings(rng):
+    vectors = rng.normal(size=(10, 4))
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+@pytest.fixture()
+def sequences():
+    return {
+        0: UserEntitySequence(0, [1, 2, 1]),
+        1: UserEntitySequence(1, [5]),
+        3: UserEntitySequence(3, []),
+    }
+
+
+class TestUserEmbedding:
+    def test_mean_of_sequence(self, embeddings):
+        emb = user_embedding(embeddings, [1, 2, 1])
+        np.testing.assert_allclose(emb, embeddings[[1, 2, 1]].mean(axis=0))
+
+    def test_accepts_sequence_object(self, embeddings):
+        seq = UserEntitySequence(9, [3, 4])
+        np.testing.assert_allclose(
+            user_embedding(embeddings, seq), embeddings[[3, 4]].mean(axis=0)
+        )
+
+    def test_empty_sequence_raises(self, embeddings):
+        with pytest.raises(ConfigError):
+            user_embedding(embeddings, [])
+
+    def test_matrix_covers_only_active_users(self, embeddings, sequences):
+        matrix, covered = user_embedding_matrix(embeddings, sequences, num_users=5)
+        assert covered.tolist() == [True, True, False, False, False]
+        np.testing.assert_allclose(matrix[2], 0.0)
+        np.testing.assert_allclose(matrix[1], embeddings[5])
+
+    def test_preference_scores_shape(self, embeddings, sequences):
+        matrix, _ = user_embedding_matrix(embeddings, sequences, num_users=5)
+        scores = preference_scores(matrix, embeddings, np.array([0, 5, 9]))
+        assert scores.shape == (5, 3)
+
+
+class TestPreferenceStore:
+    def test_validation(self, embeddings):
+        with pytest.raises(ConfigError):
+            PreferenceStore(embeddings, head_size=0)
+        with pytest.raises(ConfigError):
+            PreferenceStore(embeddings, direct_weight=-1)
+
+    def test_requires_build(self, embeddings):
+        store = PreferenceStore(embeddings)
+        with pytest.raises(NotFittedError):
+            store.score_entity(0)
+        with pytest.raises(NotFittedError):
+            store.top_users_for_entities([0], 2)
+
+    def test_uncovered_users_never_returned(self, embeddings, sequences):
+        store = PreferenceStore(embeddings).build(sequences, num_users=5)
+        users = store.top_users_for_entities([1, 2], k=5)
+        assert {u.user_id for u in users} <= {0, 1}
+
+    def test_top_users_sorted(self, embeddings, sequences):
+        store = PreferenceStore(embeddings).build(sequences, num_users=5)
+        users = store.top_users_for_entities([1], k=2)
+        assert users[0].score >= users[-1].score
+
+    def test_direct_interaction_boosts_interactors(self, embeddings):
+        sequences = {
+            0: UserEntitySequence(0, [7, 7, 7]),  # heavy interactor with 7
+            1: UserEntitySequence(1, [7]),
+        }
+        store = PreferenceStore(embeddings, direct_weight=100.0).build(sequences, 2)
+        users = store.top_users_for_entity(7, k=2)
+        assert users[0].user_id == 0
+
+    def test_zero_direct_weight_is_pure_dot(self, embeddings, sequences):
+        store = PreferenceStore(embeddings, direct_weight=0.0, normalize=False).build(
+            sequences, num_users=5
+        )
+        scores = store.score_entity(1)
+        expected = store.user_matrix[0] @ embeddings[1]
+        assert scores[0] == pytest.approx(expected)
+
+    def test_top_users_matches_bruteforce(self, embeddings, sequences):
+        store = PreferenceStore(embeddings).build(sequences, num_users=5)
+        ids = [1, 5]
+        per = store.user_matrix @ store.entity_embeddings[np.array(ids)].T
+        per = per + store.direct_weight * store._interaction[:, np.array(ids)]
+        brute = per.mean(axis=1)
+        brute[~store.covered_users] = -np.inf
+        expected_top = int(np.argmax(brute))
+        assert store.top_users_for_entities(ids, k=1)[0].user_id == expected_top
+
+    def test_weighted_average(self, embeddings, sequences):
+        store = PreferenceStore(embeddings).build(sequences, num_users=5)
+        heavy_on_first = store.top_users_for_entities([1, 5], k=2, weights=[100.0, 0.001])
+        only_first = store.top_users_for_entities([1], k=2)
+        assert [u.user_id for u in heavy_on_first] == [u.user_id for u in only_first]
+
+    def test_weight_shape_validation(self, embeddings, sequences):
+        store = PreferenceStore(embeddings).build(sequences, num_users=5)
+        with pytest.raises(ConfigError):
+            store.top_users_for_entities([1, 5], k=1, weights=[1.0])
+
+    def test_empty_entities_raise(self, embeddings, sequences):
+        store = PreferenceStore(embeddings).build(sequences, num_users=5)
+        with pytest.raises(ConfigError):
+            store.top_users_for_entities([], k=1)
+
+    def test_head_caching_consistent(self, embeddings, sequences):
+        store = PreferenceStore(embeddings, head_size=2).build(sequences, num_users=5)
+        first = store.top_users_for_entity(1, k=2)
+        second = store.top_users_for_entity(1, k=2)
+        assert [u.user_id for u in first] == [u.user_id for u in second]
+
+    def test_normalization_unit_rows(self, rng):
+        raw = rng.normal(size=(6, 3)) * 10
+        store = PreferenceStore(raw, normalize=True)
+        norms = np.linalg.norm(store.entity_embeddings, axis=1)
+        np.testing.assert_allclose(norms, np.ones(6))

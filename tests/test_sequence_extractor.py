@@ -1,0 +1,82 @@
+"""Entity sequence extractor."""
+
+import pytest
+
+from repro.datasets.behavior import BehaviorEvent, Mention
+from repro.errors import ConfigError
+from repro.text import EntityDict, EntityEntry, EntitySequenceExtractor
+
+
+@pytest.fixture()
+def tiny_dict():
+    return EntityDict(
+        [
+            EntityEntry(0, "nba", 0, "sport_event"),
+            EntityEntry(1, "tesla", 1, "car"),
+        ]
+    )
+
+
+def make_event(user, day, text, mentions=()):
+    return BehaviorEvent(user_id=user, day=day, channel="search", text=text, mentions=tuple(mentions))
+
+
+class TestExtractEvent:
+    def test_dictionary_backend_finds_entities(self, tiny_dict):
+        extractor = EntitySequenceExtractor(tiny_dict)
+        event = make_event(0, 1, "watch nba and buy tesla")
+        assert extractor.extract_event(event) == [0, 1]
+
+    def test_unknown_backend_raises(self, tiny_dict):
+        with pytest.raises(ConfigError):
+            EntitySequenceExtractor(tiny_dict, backend="magic")
+
+    def test_ner_backend_requires_model(self, tiny_dict):
+        with pytest.raises(ConfigError):
+            EntitySequenceExtractor(tiny_dict, backend="ner")
+
+
+class TestSequences:
+    def test_chronological_concatenation(self, tiny_dict):
+        extractor = EntitySequenceExtractor(tiny_dict)
+        events = [
+            make_event(7, 5, "tesla"),
+            make_event(7, 1, "nba"),
+        ]
+        seqs = extractor.extract_sequences(events)
+        assert seqs[7].entity_ids == [0, 1]  # day 1 before day 5
+
+    def test_window_filters_old_events(self, tiny_dict):
+        extractor = EntitySequenceExtractor(tiny_dict, window_days=30)
+        events = [
+            make_event(1, 0, "nba"),
+            make_event(1, 50, "tesla"),
+        ]
+        seqs = extractor.extract_sequences(events, as_of_day=50)
+        assert seqs[1].entity_ids == [1]
+
+    def test_as_of_day_defaults_to_max(self, tiny_dict):
+        extractor = EntitySequenceExtractor(tiny_dict, window_days=5)
+        events = [make_event(1, 0, "nba"), make_event(1, 3, "tesla")]
+        seqs = extractor.extract_sequences(events)
+        assert seqs[1].entity_ids == [0, 1]
+
+    def test_empty_events(self, tiny_dict):
+        assert EntitySequenceExtractor(tiny_dict).extract_sequences([]) == {}
+
+    def test_corpus_sequences_drop_singletons(self, tiny_dict):
+        extractor = EntitySequenceExtractor(tiny_dict)
+        events = [make_event(1, 0, "nba"), make_event(2, 0, "nba tesla")]
+        corpus = extractor.corpus_sequences(events)
+        assert corpus == [[0, 1]]
+
+
+class TestGoldRecall:
+    def test_dictionary_backend_matches_gold_mentions(self, extractor, events):
+        hits = total = 0
+        for event in events[:100]:
+            found = set(extractor.extract_event(event))
+            gold = {m.entity_id for m in event.mentions}
+            hits += len(found & gold)
+            total += len(gold)
+        assert hits / total > 0.99

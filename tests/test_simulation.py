@@ -1,0 +1,138 @@
+"""Online A/B simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation import (
+    ConversionModel,
+    LookAlikeTargeting,
+    RuleBasedTargeting,
+    collect_seed_users,
+    default_services,
+    make_service,
+)
+from repro.text import EntityDict
+
+
+@pytest.fixture(scope="module")
+def services(world):
+    return default_services(world, rng=3)
+
+
+@pytest.fixture(scope="module")
+def rule_baseline(world, entity_dict, events):
+    return RuleBasedTargeting(world, entity_dict, events)
+
+
+class TestServices:
+    def test_default_services_distinct_topics(self, services):
+        topics = [s.primary_topic for s in services]
+        assert len(set(topics)) == len(topics)
+
+    def test_profiles_are_distributions(self, services):
+        for s in services:
+            assert s.profile.sum() == pytest.approx(1.0)
+            assert np.argmax(s.profile) == s.primary_topic
+
+    def test_phrases_are_topic_entities(self, world, services):
+        for s in services:
+            for phrase in s.phrases:
+                assert world.entity_by_name(phrase).primary_topic == s.primary_topic
+
+    def test_make_service_validation(self, world):
+        with pytest.raises(ConfigError):
+            make_service(world, "x", topic=99, base_conversion_rate=0.2)
+        with pytest.raises(ConfigError):
+            make_service(world, "x", topic=0, base_conversion_rate=0.0)
+
+    def test_affinity_normalised(self, world, services):
+        aff = services[0].user_affinity(world)
+        assert aff.max() == pytest.approx(1.0)
+        assert (aff >= 0).all()
+
+
+class TestConversionModel:
+    def test_calibration_matches_base_rate(self, world, services):
+        model = ConversionModel(world)
+        for s in services:
+            probs = model.conversion_probabilities(s)
+            assert probs.mean() == pytest.approx(s.base_conversion_rate, abs=0.01)
+
+    def test_high_affinity_users_convert_more(self, world, services):
+        model = ConversionModel(world)
+        s = services[0]
+        probs = model.conversion_probabilities(s)
+        aff = s.user_affinity(world)
+        top = aff > np.quantile(aff, 0.9)
+        bottom = aff < np.quantile(aff, 0.1)
+        assert probs[top].mean() > probs[bottom].mean() + 0.1
+
+    def test_exposure_outcome_counts(self, world, services):
+        model = ConversionModel(world)
+        outcome = model.expose(services[0], np.arange(50), rng=0)
+        assert outcome.num_exposure == 50
+        assert 0 <= outcome.num_conversion <= 50
+        assert outcome.cvr == outcome.num_conversion / 50
+
+    def test_slope_validation(self, world):
+        with pytest.raises(ConfigError):
+            ConversionModel(world, slope=0)
+
+
+class TestRuleBaseline:
+    def test_targets_requested_count(self, rule_baseline, services):
+        result = rule_baseline.target(services[0], 25, rng=0)
+        assert len(result.user_ids) == 25
+        assert result.elapsed_seconds >= 0
+
+    def test_rule_better_than_random(self, world, rule_baseline, services):
+        service = services[0]
+        aff = service.user_affinity(world)
+        result = rule_baseline.target(service, 30, rng=0)
+        assert aff[result.user_ids].mean() > aff.mean()
+
+    def test_topic_oracle_at_least_as_good(self, world, rule_baseline, services):
+        service = services[0]
+        aff = service.user_affinity(world)
+        plain = aff[rule_baseline.target(service, 30, rng=0).user_ids].mean()
+        oracle = aff[rule_baseline.target_with_topic_oracle(service, 30, rng=0).user_ids].mean()
+        assert oracle >= plain - 0.05
+
+    def test_service_types_from_phrases(self, rule_baseline, world, services):
+        types = rule_baseline.service_types(services[0])
+        phrase_types = {
+            world.entity_by_name(p).type_id for p in services[0].phrases
+        }
+        assert set(types) == phrase_types
+
+
+class TestLookAlike:
+    def test_requires_seeds(self, world, entity_dict, events, services):
+        model = LookAlikeTargeting(world, entity_dict, events)
+        with pytest.raises(ConfigError):
+            model.target(services[0], None, 10)
+        with pytest.raises(ConfigError):
+            model.target(services[0], np.array([]), 10)
+
+    def test_expands_seed_audience(self, world, entity_dict, events, services):
+        service = services[0]
+        model = LookAlikeTargeting(world, entity_dict, events)
+        conversion = ConversionModel(world)
+        # A past campaign over the whole population, repeated to gather a
+        # realistic seed pool.
+        seeds = np.unique(
+            np.concatenate(
+                [
+                    collect_seed_users(
+                        conversion.expose(service, np.arange(world.num_users), rng=r)
+                    )
+                    for r in (0, 1, 2)
+                ]
+            )
+        )
+        assert len(seeds) >= 20
+        result = model.target(service, seeds, 30, rng=1)
+        aff = service.user_affinity(world)
+        assert aff[result.user_ids].mean() > aff.mean()
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,112 @@
+"""GraphStore maintenance: compaction, scans, stats, incremental prefs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, StorageError
+from repro.graph import GraphStore
+from repro.preference import PreferenceStore
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = GraphStore(tmp_path / "store", num_nodes=20)
+    for week in range(5):
+        store.put_edges([(week, week + 1)])
+        store.commit_version(f"week-{week}")
+    return store
+
+
+class TestCompaction:
+    def test_drops_old_snapshots(self, store):
+        removed = store.compact(keep_last=2)
+        assert removed == 3
+        versions = [v["version"] for v in store.versions()]
+        assert versions == [4, 5]
+        # Old snapshot files are gone from disk.
+        snapshots = sorted(store.path.glob("snapshot-*.npz"))
+        assert len(snapshots) == 2
+
+    def test_kept_versions_still_load(self, store):
+        store.compact(keep_last=2)
+        assert store.load_version(5).num_edges == 5
+        with pytest.raises(StorageError):
+            store.load_version(1)
+
+    def test_noop_when_few_versions(self, store):
+        assert store.compact(keep_last=10) == 0
+        assert len(store.versions()) == 5
+
+    def test_keep_last_validation(self, store):
+        with pytest.raises(StorageError):
+            store.compact(keep_last=0)
+
+    def test_survives_reopen(self, store):
+        store.compact(keep_last=1)
+        reopened = GraphStore(store.path)
+        assert [v["version"] for v in reopened.versions()] == [5]
+
+
+class TestScanAndStats:
+    def test_scan_edges_yields_all(self, store):
+        edges = list(store.scan_edges())
+        assert len(edges) == 5
+        assert all(len(e) == 4 for e in edges)
+        assert (0, 1, 1.0, 0) in edges
+
+    def test_scan_specific_version(self, store):
+        assert len(list(store.scan_edges(version=2))) == 2
+
+    def test_scan_empty_store_raises(self, tmp_path):
+        fresh = GraphStore(tmp_path / "fresh", num_nodes=5)
+        with pytest.raises(StorageError):
+            list(fresh.scan_edges())
+
+    def test_stats_counters(self, store):
+        store.put_edges([(10, 11)])  # uncommitted
+        stats = store.stats()
+        assert stats["num_versions"] == 5
+        assert stats["latest_version"] == 5
+        assert stats["latest_edges"] == 5
+        assert stats["memtable_entries"] == 1
+        assert stats["wal_bytes"] > 0
+
+
+class TestIncrementalPreference:
+    @pytest.fixture()
+    def built_store(self, rng):
+        vectors = rng.normal(size=(6, 4))
+        sequences = {0: UserEntitySequence(0, [1, 2]), 1: UserEntitySequence(1, [3])}
+        return PreferenceStore(vectors).build(sequences, num_users=3)
+
+    def test_update_matches_full_rebuild(self, built_store, rng):
+        new_seq = UserEntitySequence(2, [4, 5, 4])
+        built_store.update_user(new_seq)
+        rebuilt = PreferenceStore(built_store.entity_embeddings, normalize=False).build(
+            {
+                0: UserEntitySequence(0, [1, 2]),
+                1: UserEntitySequence(1, [3]),
+                2: new_seq,
+            },
+            num_users=3,
+        )
+        np.testing.assert_allclose(built_store.user_matrix[2], rebuilt.user_matrix[2])
+        assert built_store.covered_users[2]
+
+    def test_update_to_empty_uncovers(self, built_store):
+        built_store.update_user(UserEntitySequence(0, []))
+        assert not built_store.covered_users[0]
+        users = built_store.top_users_for_entities([1], k=3)
+        assert 0 not in [u.user_id for u in users]
+
+    def test_update_invalidates_heads(self, built_store):
+        before = [u.user_id for u in built_store.top_users_for_entity(3, k=2)]
+        # Make user 0 a heavy interactor with entity 3.
+        built_store.update_user(UserEntitySequence(0, [3, 3, 3, 3]))
+        after = built_store.top_users_for_entity(3, k=1)
+        assert after[0].user_id == 0 or before[0] == 0
+
+    def test_out_of_range_user(self, built_store):
+        with pytest.raises(ConfigError):
+            built_store.update_user(UserEntitySequence(99, [1]))

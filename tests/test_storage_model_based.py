@@ -1,0 +1,70 @@
+"""Model-based property test: GraphStore vs an in-memory dictionary model.
+
+Hypothesis drives random sequences of put/delete/commit/reopen operations
+against both the real store and a trivial dict model; after every sequence
+the store's merged view must equal the model exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphStore
+
+N_NODES = 8
+
+_pair = st.tuples(st.integers(0, N_NODES - 1), st.integers(0, N_NODES - 1)).filter(
+    lambda p: p[0] != p[1]
+)
+_operation = st.one_of(
+    st.tuples(st.just("put"), _pair, st.floats(0.1, 1.0)),
+    st.tuples(st.just("delete"), _pair),
+    st.tuples(st.just("commit")),
+    st.tuples(st.just("reopen")),
+)
+
+
+def _canonical(pair):
+    u, v = pair
+    return (min(u, v), max(u, v))
+
+
+@given(st.lists(_operation, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_store_matches_dict_model(tmp_path_factory, operations):
+    path = tmp_path_factory.mktemp("model_store")
+    store = GraphStore(path, num_nodes=N_NODES)
+    model: dict[tuple[int, int], float] = {}
+
+    for op in operations:
+        if op[0] == "put":
+            _, pair, weight = op
+            store.put_edges([pair], weights=[weight])
+            model[_canonical(pair)] = weight
+        elif op[0] == "delete":
+            _, pair = op
+            store.delete_edges([pair])
+            model.pop(_canonical(pair), None)
+        elif op[0] == "commit":
+            store.commit_version()
+        elif op[0] == "reopen":
+            store = GraphStore(path)
+
+    graph = store.current_graph()
+    lo, hi = graph.canonical_pairs()
+    observed = {
+        (int(a), int(b)): float(w) for a, b, w in zip(lo, hi, graph.weight)
+    }
+    assert observed == model
+
+    # Point reads agree with the model too.
+    for node in range(N_NODES):
+        expected = sorted(
+            (v if u == node else u, w)
+            for (u, v), w in model.items()
+            if node in (u, v)
+        )
+        actual = [(nbr, w) for nbr, w, _ in store.neighbors(node)]
+        assert actual == expected

@@ -1,0 +1,233 @@
+"""Core Tensor mechanics: arithmetic, broadcasting, graph traversal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.errors import GradientError
+from repro.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, unbroadcast
+
+from helpers import assert_gradcheck
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_zeros_ones(self):
+        assert Tensor.zeros(2, 3).data.sum() == 0
+        assert Tensor.ones(2, 3).data.sum() == 6
+
+    def test_from_numpy_shares_data(self):
+        a = np.ones(3)
+        t = Tensor.from_numpy(a)
+        a[0] = 5.0
+        assert t.data[0] == 5.0
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3).detach()
+        z = (y * y).sum()
+        z.backward()
+        assert x.grad is None
+
+    def test_item(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 1])
+        np.testing.assert_allclose(y.grad, [1, 1])
+
+    def test_mul_backward(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = Tensor([5.0, 7.0], requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [5, 7])
+        np.testing.assert_allclose(y.grad, [2, 3])
+
+    def test_div_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4)) + 3.0
+        assert_gradcheck(lambda x: (x / 2.5).sum() + (1.0 / x).sum(), a)
+
+    def test_sub_and_neg(self):
+        x = Tensor([4.0], requires_grad=True)
+        ((-x) - x).backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [-2.0])
+
+    def test_rsub_rdiv(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 10.0 - x
+        z = 10.0 / x
+        np.testing.assert_allclose(y.data, [8.0])
+        np.testing.assert_allclose(z.data, [5.0])
+
+    def test_pow_gradcheck(self, rng):
+        a = np.abs(rng.normal(size=(4,))) + 0.5
+        assert_gradcheck(lambda x: (x**3).sum(), a)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_comparison_returns_bool_array(self):
+        x = Tensor([1.0, 5.0])
+        assert (x > 3).dtype == bool
+        assert list(x > 3) == [False, True]
+        assert list(x <= 1.0) == [True, False]
+
+
+class TestBroadcasting:
+    def test_broadcast_add_backward(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [3, 3, 3, 3])
+
+    def test_broadcast_mul_keepdim_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        s = Tensor(np.full((2, 1), 2.0), requires_grad=True)
+        (x * s).sum().backward()
+        np.testing.assert_allclose(s.grad, [[3], [3]])
+
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=3, max_side=4),
+               elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, a):
+        target_shape = a.shape
+        expanded = np.broadcast_to(a, (2,) + target_shape)
+        reduced = unbroadcast(expanded.copy(), target_shape)
+        np.testing.assert_allclose(reduced, 2 * a)
+
+    def test_scalar_broadcast(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 3.0 + 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 3.0))
+
+
+class TestMatmul:
+    def test_matmul_gradcheck_2d(self, rng):
+        a = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 2))
+        assert_gradcheck(lambda x: ((x @ w) ** 2).sum(), a)
+
+    def test_matmul_gradcheck_right(self, rng):
+        a = rng.normal(size=(3, 4))
+        x0 = rng.normal(size=(4, 2))
+        assert_gradcheck(lambda w: ((Tensor(a) @ w) ** 2).sum(), x0)
+
+    def test_matmul_batched(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert_gradcheck(lambda x: ((x @ np.swapaxes(a, -1, -2)) ** 2).sum(), a)
+
+    def test_matmul_vector_cases(self, rng):
+        v = rng.normal(size=4)
+        m = rng.normal(size=(4, 3))
+        assert_gradcheck(lambda x: (x @ m).sum(), v)  # vec @ mat wrt vec
+        assert_gradcheck(lambda x: (Tensor(m.T) @ x).sum(), v)  # mat @ vec wrt vec
+        assert_gradcheck(lambda x: (Tensor(v) @ x).sum(), m)  # vec @ mat wrt mat
+        assert_gradcheck(lambda x: (x.transpose(1, 0) @ Tensor(v)).sum(), m)
+
+    def test_matmul_vec_vec(self, rng):
+        v = rng.normal(size=5)
+        w = rng.normal(size=5)
+        assert_gradcheck(lambda x: x @ Tensor(w), v)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        assert_gradcheck(lambda x: (x.sum(axis=1, keepdims=True) ** 2).sum(), a)
+        assert_gradcheck(lambda x: (x.sum(axis=(0, 2)) ** 2).sum(), a)
+
+    def test_mean_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 5))
+        t = Tensor(a)
+        np.testing.assert_allclose(t.mean(axis=0).data, a.mean(axis=0))
+        np.testing.assert_allclose(t.mean().data, a.mean())
+
+    def test_reshape_transpose_gradcheck(self, rng):
+        a = rng.normal(size=(2, 6))
+        assert_gradcheck(lambda x: (x.reshape(3, 4).transpose(1, 0) ** 2).sum(), a)
+
+    def test_T_property(self, rng):
+        a = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(Tensor(a).T.data, a.T)
+
+    def test_getitem_gradcheck(self, rng):
+        a = rng.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+        assert_gradcheck(lambda x: (x[idx] ** 2).sum(), a)
+
+    def test_getitem_slice(self, rng):
+        a = rng.normal(size=(4, 4))
+        assert_gradcheck(lambda x: (x[1:3, :2] ** 2).sum(), a)
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2).backward()
+
+    def test_backward_grad_shape_mismatch(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2
+        with pytest.raises(GradientError):
+            y.backward(np.ones(4))
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 3
+        b = x * 4
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_reused_node_deep_chain(self):
+        x = Tensor([1.5], requires_grad=True)
+        y = x
+        for _ in range(20):
+            y = y + x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [21.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_disables_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2
+        assert y._parents == ()
+        assert is_grad_enabled()
+
+    def test_no_grad_nesting_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((7, 2)))) == 7

@@ -1,0 +1,215 @@
+"""Functional ops: gradchecks against finite differences, reference values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.special import logsumexp as scipy_lse
+from scipy.special import softmax as scipy_softmax
+
+from repro.tensor import (
+    Tensor,
+    abs_,
+    clip,
+    concat,
+    dropout,
+    exp,
+    gather_rows,
+    gelu,
+    leaky_relu,
+    log,
+    log_softmax,
+    logsumexp,
+    max_,
+    maximum,
+    relu,
+    scatter_mean,
+    scatter_sum,
+    segment_softmax,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    tanh,
+    where_const,
+)
+
+from helpers import assert_gradcheck
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op",
+        [exp, sigmoid, tanh, relu, gelu, leaky_relu],
+        ids=["exp", "sigmoid", "tanh", "relu", "gelu", "leaky_relu"],
+    )
+    def test_gradcheck(self, op, rng):
+        a = rng.normal(size=(3, 4)) + 0.05  # avoid relu kink at 0
+        assert_gradcheck(lambda x: (op(x) ** 2).sum(), a)
+
+    def test_log_sqrt_gradcheck(self, rng):
+        a = np.abs(rng.normal(size=(3, 3))) + 0.5
+        assert_gradcheck(lambda x: log(x).sum(), a)
+        assert_gradcheck(lambda x: sqrt(x).sum(), a)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = sigmoid(Tensor([-1000.0, 1000.0]))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+        assert np.isfinite(out.data).all()
+
+    def test_abs_gradcheck(self, rng):
+        a = rng.normal(size=(6,)) + 0.2
+        assert_gradcheck(lambda x: abs_(x).sum(), a)
+
+    def test_clip_forward_and_grad_mask(self):
+        x = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_gradcheck(self, rng):
+        a = rng.normal(size=(5,))
+        b = rng.normal(size=(5,))
+        assert_gradcheck(lambda x: maximum(x, Tensor(b)).sum(), a)
+
+    def test_where_const(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        cond = np.array([True, False, True])
+        out = where_const(cond, x, -9.0)
+        np.testing.assert_allclose(out.data, [1.0, -9.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0])
+
+
+class TestNormalisations:
+    def test_softmax_matches_scipy(self, rng):
+        a = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(softmax(Tensor(a), axis=1).data, scipy_softmax(a, axis=1))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = rng.normal(size=(5, 7)) * 10
+        np.testing.assert_allclose(softmax(Tensor(a)).data.sum(axis=-1), np.ones(5))
+
+    def test_softmax_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4))
+        w = rng.normal(size=(3, 4))
+        assert_gradcheck(lambda x: (softmax(x, axis=-1) * w).sum(), a)
+
+    def test_log_softmax_matches_scipy(self, rng):
+        a = rng.normal(size=(3, 5))
+        expected = a - scipy_lse(a, axis=-1, keepdims=True)
+        np.testing.assert_allclose(log_softmax(Tensor(a)).data, expected)
+
+    def test_log_softmax_gradcheck(self, rng):
+        a = rng.normal(size=(2, 5))
+        w = rng.normal(size=(2, 5))
+        assert_gradcheck(lambda x: (log_softmax(x) * w).sum(), a)
+
+    @given(arrays(np.float64, (3, 4), elements=st.floats(-50, 50)))
+    @settings(max_examples=30, deadline=None)
+    def test_logsumexp_matches_scipy(self, a):
+        np.testing.assert_allclose(
+            logsumexp(Tensor(a), axis=1).data, scipy_lse(a, axis=1), atol=1e-10
+        )
+
+    def test_logsumexp_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert_gradcheck(lambda x: logsumexp(x, axis=0).sum(), a)
+
+    def test_max_gradcheck_no_ties(self, rng):
+        a = rng.permutation(20).astype(np.float64).reshape(4, 5)
+        assert_gradcheck(lambda x: max_(x, axis=1).sum(), a)
+
+    def test_max_splits_tied_gradient(self):
+        x = Tensor([[2.0, 2.0, 1.0]], requires_grad=True)
+        max_(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeOps:
+    def test_concat_gradcheck(self, rng):
+        a = rng.normal(size=(3, 2))
+        b = rng.normal(size=(3, 4))
+        assert_gradcheck(lambda x: (concat([x, Tensor(b)], axis=1) ** 2).sum(), a)
+
+    def test_stack_gradcheck(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        assert_gradcheck(lambda x: (stack([x, Tensor(b)], axis=0) ** 2).sum(), a)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_scales_kept_values(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = dropout(x, 0.25, rng, training=True)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.75)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+
+class TestGatherScatter:
+    def test_gather_rows_forward(self, rng):
+        a = rng.normal(size=(5, 3))
+        idx = np.array([4, 0, 4])
+        np.testing.assert_allclose(gather_rows(Tensor(a), idx).data, a[idx])
+
+    def test_gather_rows_gradcheck(self, rng):
+        a = rng.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 1])
+        assert_gradcheck(lambda x: (gather_rows(x, idx) ** 2).sum(), a)
+
+    def test_scatter_sum_inverse_of_gather(self, rng):
+        a = rng.normal(size=(4, 2))
+        idx = np.array([1, 1, 3, 0])
+        out = scatter_sum(Tensor(a), idx, 5)
+        expected = np.zeros((5, 2))
+        np.add.at(expected, idx, a)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_scatter_sum_gradcheck(self, rng):
+        a = rng.normal(size=(6, 2))
+        idx = np.array([0, 0, 1, 2, 2, 2])
+        assert_gradcheck(lambda x: (scatter_sum(x, idx, 3) ** 2).sum(), a)
+
+    def test_scatter_mean_empty_bucket_zero(self, rng):
+        a = rng.normal(size=(3, 2))
+        out = scatter_mean(Tensor(a), np.array([0, 0, 2]), 4)
+        np.testing.assert_allclose(out.data[1], [0.0, 0.0])
+        np.testing.assert_allclose(out.data[3], [0.0, 0.0])
+        np.testing.assert_allclose(out.data[0], a[:2].mean(axis=0))
+
+    def test_segment_softmax_normalises_per_segment(self, rng):
+        logits = Tensor(rng.normal(size=8))
+        seg = np.array([0, 0, 0, 1, 1, 2, 2, 2])
+        out = segment_softmax(logits, seg, 3).data
+        for s in range(3):
+            assert abs(out[seg == s].sum() - 1.0) < 1e-12
+
+    def test_segment_softmax_2d_heads(self, rng):
+        logits = Tensor(rng.normal(size=(6, 2)))
+        seg = np.array([0, 0, 1, 1, 1, 2])
+        out = segment_softmax(logits, seg, 3).data
+        for s in range(3):
+            np.testing.assert_allclose(out[seg == s].sum(axis=0), [1.0, 1.0])
+
+    def test_segment_softmax_gradcheck(self, rng):
+        a = rng.normal(size=(7,))
+        seg = np.array([0, 0, 1, 1, 1, 2, 2])
+        w = rng.normal(size=7)
+        assert_gradcheck(lambda x: (segment_softmax(x, seg, 3) * w).sum(), a)
+
+    def test_segment_softmax_empty_segment_ok(self, rng):
+        out = segment_softmax(Tensor(rng.normal(size=3)), np.array([0, 0, 2]), 4)
+        assert np.isfinite(out.data).all()
+
+    @given(st.integers(2, 6), st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_scatter_then_gather_roundtrip_counts(self, buckets, n):
+        rng = np.random.default_rng(buckets * 100 + n)
+        idx = rng.integers(0, buckets, size=n)
+        ones = Tensor(np.ones((n, 1)))
+        counts = scatter_sum(ones, idx, buckets).data[:, 0]
+        np.testing.assert_allclose(counts, np.bincount(idx, minlength=buckets))

@@ -1,0 +1,79 @@
+"""Vocab and tokenizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VocabularyError
+from repro.text import Vocab, WhitespaceTokenizer, encode_batch
+from repro.text.vocab import CLS_TOKEN, MASK_TOKEN, PAD_TOKEN, UNK_TOKEN
+
+
+class TestVocab:
+    def test_special_tokens_have_fixed_ids(self):
+        v = Vocab(["alpha", "beta"])
+        assert v.pad_id == 0 and v.unk_id == 1 and v.mask_id == 2 and v.cls_id == 3
+        assert v.decode([0, 1, 2, 3]) == [PAD_TOKEN, UNK_TOKEN, MASK_TOKEN, CLS_TOKEN]
+
+    def test_encode_decode_round_trip(self):
+        v = Vocab(["alpha", "beta", "gamma"])
+        tokens = ["gamma", "alpha"]
+        assert v.decode(v.encode(tokens)) == tokens
+
+    def test_unknown_maps_to_unk(self):
+        v = Vocab(["alpha"])
+        assert v.encode(["nope"]) == [v.unk_id]
+
+    def test_duplicates_ignored(self):
+        v = Vocab(["a", "a", "b"])
+        assert len(v) == 4 + 2
+
+    def test_build_min_count(self):
+        corpus = [["a", "a", "b"], ["a", "c"]]
+        v = Vocab.build(corpus, min_count=2)
+        assert "a" in v
+        assert "b" not in v and "c" not in v
+
+    def test_token_id_raises_for_unknown(self):
+        with pytest.raises(VocabularyError):
+            Vocab([]).token_id("ghost")
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocab([]).decode([99])
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, tokens):
+        v = Vocab(tokens)
+        assert v.decode(v.encode(tokens)) == tokens
+
+
+class TestTokenizer:
+    def test_lowercases_and_strips_punctuation(self):
+        t = WhitespaceTokenizer()
+        assert t.tokenize("Hello, NBA! 2024") == ["hello", "nba", "2024"]
+
+    def test_empty_string(self):
+        assert WhitespaceTokenizer().tokenize("  ") == []
+
+
+class TestEncodeBatch:
+    def test_padding_and_mask(self):
+        v = Vocab(["a", "b", "c"])
+        ids, mask = encode_batch([["a"], ["b", "c"]], v, max_len=3)
+        assert ids.shape == (2, 3)
+        assert mask.tolist() == [[True, False, False], [True, True, False]]
+        assert ids[0, 1] == v.pad_id
+
+    def test_truncation(self):
+        v = Vocab(["a"])
+        ids, mask = encode_batch([["a"] * 10], v, max_len=4)
+        assert mask.sum() == 4
+
+    def test_cls_prepended(self):
+        v = Vocab(["a"])
+        ids, _ = encode_batch([["a"]], v, max_len=4, add_cls=True)
+        assert ids[0, 0] == v.cls_id
+        assert ids[0, 1] == v.token_id("a")

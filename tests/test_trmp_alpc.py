@@ -1,0 +1,97 @@
+"""ALPC model and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.eval import roc_auc
+from repro.tensor import Tensor
+from repro.trmp import ALPCConfig, ALPCLinkPredictor, ALPCModel
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ALPCConfig(hidden_dim=0).validate()
+        with pytest.raises(ConfigError):
+            ALPCConfig(alpha=-1).validate()
+        with pytest.raises(ConfigError):
+            ALPCConfig(temperature=0).validate()
+        ALPCConfig().validate()
+
+
+class TestModel:
+    def test_forward_pieces(self, rng):
+        config = ALPCConfig(hidden_dim=8, num_layers=1)
+        model = ALPCModel(6, config)
+        x = Tensor(rng.normal(size=(10, 6)))
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 0, 3, 2])
+        z = model.encode(x, src, dst, 10)
+        assert z.shape == (10, 8)
+        pairs = np.array([[0, 1], [2, 3]])
+        scores = model.score_pairs(z, pairs)
+        assert scores.shape == (2,)
+        eps = model.thresholds(z, pairs[:, 0])
+        assert eps.shape == (2,)
+        proj = model.contrastive_projection(z)
+        assert proj.shape == (10, 4)
+
+
+class TestTrainer:
+    def test_not_fitted_guards(self):
+        model = ALPCLinkPredictor()
+        with pytest.raises(NotFittedError):
+            model.predict_pairs(np.array([[0, 1]]))
+        with pytest.raises(NotFittedError):
+            _ = model.node_embeddings
+
+    def test_training_beats_chance(self, trained_alpc, split):
+        pairs, labels = split.test_pairs_and_labels()
+        auc = roc_auc(labels, trained_alpc.predict_pairs(pairs))
+        assert auc > 0.75
+
+    def test_losses_recorded(self, trained_alpc):
+        report = trained_alpc.report
+        assert len(report.losses) > 0
+        assert len(report.pred_losses) == len(report.losses)
+        assert np.mean(report.losses[-3:]) < np.mean(report.losses[:3])
+
+    def test_predict_pairs_are_probabilities(self, trained_alpc, split):
+        scores = trained_alpc.predict_pairs(split.test_pos[:50])
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_margins_consistent_with_thresholds(self, trained_alpc, split):
+        pairs = split.test_pos[:20]
+        margins = trained_alpc.predict_margins(pairs)
+        raw = trained_alpc.raw_scores(pairs)
+        eps = trained_alpc.node_thresholds[pairs[:, 0]]
+        np.testing.assert_allclose(margins, raw - eps, atol=1e-10)
+
+    def test_accept_pairs_two_sided(self, trained_alpc, split):
+        pairs = split.test_pos[:40]
+        accepted = trained_alpc.accept_pairs(pairs)
+        forward = trained_alpc.predict_margins(pairs) > 0
+        backward = trained_alpc.predict_margins(pairs[:, ::-1]) > 0
+        np.testing.assert_array_equal(accepted, forward & backward)
+
+    def test_acceptance_enriches_true_relations(self, trained_alpc, split, world):
+        pairs, labels = split.test_pairs_and_labels()
+        accepted = trained_alpc.accept_pairs(pairs)
+        # Acceptance rate among positives must exceed that among negatives.
+        pos_rate = accepted[labels == 1].mean()
+        neg_rate = accepted[labels == 0].mean()
+        assert pos_rate > neg_rate + 0.3
+
+    def test_node_embeddings_shape(self, trained_alpc, candidate):
+        assert trained_alpc.node_embeddings.shape[0] == candidate.graph.num_nodes
+        assert trained_alpc.node_thresholds.shape[0] == candidate.graph.num_nodes
+
+
+class TestAblationsTrain:
+    @pytest.mark.parametrize("alpha,beta", [(0.0, 1.0), (1.0, 0.0), (0.0, 0.0)])
+    def test_ablations_run(self, split, candidate, e_semantic, alpha, beta):
+        config = ALPCConfig(epochs=3, alpha=alpha, beta=beta, seed=0)
+        model = ALPCLinkPredictor(config).fit(split, candidate.node_features, e_semantic)
+        scores = model.predict_pairs(split.test_pos[:10])
+        assert np.isfinite(scores).all()

@@ -1,0 +1,109 @@
+"""TRMP Stage I: candidate generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import RELATION_BOTH, RELATION_COOCCURRENCE, RELATION_SEMANTIC
+from repro.trmp import CandidateGenerationConfig, CandidateGenerator, popularity_sampling_pairs
+
+
+def cluster_vectors(rng, clusters=3, per_cluster=10, dim=8, spread=0.1):
+    centers = rng.normal(size=(clusters, dim)) * 3
+    points = np.concatenate(
+        [c + rng.normal(size=(per_cluster, dim)) * spread for c in centers]
+    )
+    return points
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CandidateGenerationConfig(top_k_cooccurrence=0).validate()
+        with pytest.raises(ConfigError):
+            CandidateGenerationConfig(min_cooccurrence_count=-1).validate()
+
+
+class TestGeneration:
+    def test_mismatched_matrices_raise(self, rng):
+        gen = CandidateGenerator()
+        with pytest.raises(ConfigError):
+            gen.generate(rng.normal(size=(5, 4)), rng.normal(size=(6, 4)))
+
+    def test_edges_connect_clusters_internally(self, rng):
+        vectors = cluster_vectors(rng)
+        config = CandidateGenerationConfig(
+            top_k_cooccurrence=3, top_k_semantic=3, min_cooccurrence_sim=0.5, min_semantic_sim=0.5
+        )
+        result = CandidateGenerator(config).generate(vectors, vectors)
+        lo, hi = result.graph.canonical_pairs()
+        same_cluster = (lo // 10) == (hi // 10)
+        assert same_cluster.mean() > 0.9
+
+    def test_relation_provenance_labels(self, rng):
+        co = cluster_vectors(rng, clusters=2, per_cluster=5)
+        se = cluster_vectors(np.random.default_rng(99), clusters=2, per_cluster=5)
+        config = CandidateGenerationConfig(
+            top_k_cooccurrence=2, top_k_semantic=2, min_cooccurrence_sim=0.0, min_semantic_sim=-1.0
+        )
+        result = CandidateGenerator(config).generate(co, se)
+        labels = set(result.graph.relation.tolist())
+        assert labels <= {RELATION_COOCCURRENCE, RELATION_SEMANTIC, RELATION_BOTH}
+        # With identical embeddings every edge would be BOTH; with
+        # independent ones we expect a mix of sources.
+        assert len(labels) >= 2
+
+    def test_identical_channels_give_both(self, rng):
+        vectors = cluster_vectors(rng)
+        config = CandidateGenerationConfig(
+            top_k_cooccurrence=3, top_k_semantic=3, min_cooccurrence_sim=0.0, min_semantic_sim=0.0
+        )
+        result = CandidateGenerator(config).generate(vectors, vectors)
+        assert (result.graph.relation == RELATION_BOTH).all()
+
+    def test_weights_in_unit_interval(self, candidate):
+        assert (candidate.graph.weight > 0).all()
+        assert (candidate.graph.weight <= 1).all()
+
+    def test_node_features_concatenation(self, candidate):
+        features = candidate.node_features
+        n, d = candidate.e_semantic.shape
+        np.testing.assert_allclose(features[:, :d], candidate.e_semantic)
+        np.testing.assert_allclose(features[:, d:], candidate.e_cooccurrence)
+
+    def test_count_gating_drops_tail_entities(self, rng):
+        vectors = cluster_vectors(rng)
+        counts = np.full(len(vectors), 100.0)
+        counts[0] = 0  # a tail entity with no behavioural evidence
+        config = CandidateGenerationConfig(
+            top_k_cooccurrence=3,
+            top_k_semantic=3,
+            min_cooccurrence_sim=0.0,
+            min_semantic_sim=2.0,  # disable the semantic channel
+            min_cooccurrence_count=5,
+        )
+        result = CandidateGenerator(config).generate(vectors, vectors, cooccurrence_counts=counts)
+        nbrs, _ = result.graph.neighbors(0)
+        assert len(nbrs) == 0
+
+    def test_count_gating_shape_validation(self, rng):
+        vectors = cluster_vectors(rng)
+        gen = CandidateGenerator()
+        with pytest.raises(ConfigError):
+            gen.generate(vectors, vectors, cooccurrence_counts=np.ones(3))
+
+
+class TestPopularitySampling:
+    def test_pairs_unique_and_valid(self, rng):
+        popularity = rng.random(30) + 0.01
+        pairs = popularity_sampling_pairs(popularity, 40, rng=0)
+        assert len(pairs) == 40
+        assert len({tuple(p) for p in pairs}) == 40
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+
+    def test_popular_entities_overrepresented(self):
+        popularity = np.ones(100)
+        popularity[:5] = 100.0
+        pairs = popularity_sampling_pairs(popularity, 200, rng=0)
+        share = np.mean([(u < 5) or (v < 5) for u, v in pairs])
+        assert share > 0.5

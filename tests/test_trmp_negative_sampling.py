@@ -1,0 +1,91 @@
+"""Anchor construction and hard-negative mining."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import EntityGraph
+from repro.trmp import hard_negative_pairs, mixed_negative_pairs, semantic_anchor_pairs
+
+
+@pytest.fixture()
+def clustered():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(3, 6)) * 4
+    vectors = np.concatenate([c + rng.normal(size=(8, 6)) * 0.2 for c in centers])
+    # Graph: ring within each cluster, so there are close non-edges.
+    pairs = []
+    for c in range(3):
+        base = c * 8
+        pairs += [(base + i, base + (i + 1) % 8) for i in range(8)]
+    graph = EntityGraph.from_edge_list(24, pairs)
+    return graph, vectors
+
+
+class TestAnchors:
+    def test_anchors_are_graph_edges(self, clustered):
+        graph, vectors = clustered
+        anchors = semantic_anchor_pairs(graph, vectors, similarity_quantile=0.5)
+        for u, v in anchors:
+            assert graph.has_edge(int(u), int(v))
+
+    def test_both_orientations_present(self, clustered):
+        graph, vectors = clustered
+        anchors = semantic_anchor_pairs(graph, vectors, similarity_quantile=0.5)
+        keys = {tuple(p) for p in anchors}
+        for u, v in list(keys)[:10]:
+            assert (v, u) in keys
+
+    def test_quantile_controls_count(self, clustered):
+        graph, vectors = clustered
+        strict = semantic_anchor_pairs(graph, vectors, similarity_quantile=0.9)
+        loose = semantic_anchor_pairs(graph, vectors, similarity_quantile=0.1)
+        assert len(strict) < len(loose)
+
+    def test_empty_graph(self):
+        graph = EntityGraph.from_edge_list(5, [])
+        anchors = semantic_anchor_pairs(graph, np.random.rand(5, 3))
+        assert anchors.shape == (0, 2)
+
+    def test_invalid_quantile(self, clustered):
+        graph, vectors = clustered
+        with pytest.raises(ConfigError):
+            semantic_anchor_pairs(graph, vectors, similarity_quantile=1.0)
+
+
+class TestHardNegatives:
+    def test_hard_negatives_not_edges_and_close(self, clustered):
+        graph, vectors = clustered
+        unit = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        hard = hard_negative_pairs(graph, vectors, count=10, rng=0)
+        all_sims = unit @ unit.T
+        iu = np.triu_indices(24, 1)
+        for u, v in hard:
+            assert not graph.has_edge(int(u), int(v))
+        hard_sims = [all_sims[u, v] for u, v in hard]
+        assert np.mean(hard_sims) > np.mean(all_sims[iu])
+
+    def test_fully_connected_raises(self):
+        pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        graph = EntityGraph.from_edge_list(5, pairs)
+        with pytest.raises(ConfigError):
+            hard_negative_pairs(graph, np.random.rand(5, 3), count=3, top_k=4, rng=0)
+
+
+class TestMixed:
+    def test_counts_and_validity(self, clustered):
+        graph, vectors = clustered
+        mixed = mixed_negative_pairs(graph, vectors, count=20, hard_fraction=0.4, rng=0)
+        assert len(mixed) == 20
+        for u, v in mixed:
+            assert not graph.has_edge(int(u), int(v))
+
+    def test_fraction_validation(self, clustered):
+        graph, vectors = clustered
+        with pytest.raises(ConfigError):
+            mixed_negative_pairs(graph, vectors, count=10, hard_fraction=1.5)
+
+    def test_all_random(self, clustered):
+        graph, vectors = clustered
+        mixed = mixed_negative_pairs(graph, vectors, count=10, hard_fraction=0.0, rng=0)
+        assert len(mixed) == 10

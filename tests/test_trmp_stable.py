@@ -1,0 +1,106 @@
+"""Drift-aware stable training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trmp import DriftAwareReweighter, DriftReweighterConfig
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DriftReweighterConfig(min_weight=0.0).validate()
+        with pytest.raises(ConfigError):
+            DriftReweighterConfig(min_weight=2.0, max_weight=3.0).validate()
+        with pytest.raises(ConfigError):
+            DriftReweighterConfig(smoothing=0.0).validate()
+
+
+class TestReference:
+    def test_requires_reference(self):
+        reweighter = DriftAwareReweighter()
+        with pytest.raises(ConfigError):
+            reweighter.entity_propensity(np.ones(4))
+        assert not reweighter.has_reference
+
+    def test_running_mean_reference(self):
+        reweighter = DriftAwareReweighter()
+        reweighter.update_reference(np.array([2.0, 0.0]))
+        reweighter.update_reference(np.array([0.0, 2.0]))
+        np.testing.assert_allclose(reweighter._reference, [1.0, 1.0])
+
+    def test_shape_change_rejected(self):
+        reweighter = DriftAwareReweighter()
+        reweighter.update_reference(np.ones(4))
+        with pytest.raises(ConfigError):
+            reweighter.update_reference(np.ones(5))
+
+
+class TestWeights:
+    def test_stationary_counts_give_uniform_weights(self):
+        reweighter = DriftAwareReweighter()
+        counts = np.array([10.0, 20.0, 30.0])
+        reweighter.update_reference(counts)
+        pairs = np.array([[0, 1], [1, 2]])
+        weights = reweighter.pair_weights(pairs, counts)
+        np.testing.assert_allclose(weights, [1.0, 1.0])
+
+    def test_overexposed_entities_downweighted(self):
+        reweighter = DriftAwareReweighter()
+        reweighter.update_reference(np.array([10.0, 10.0, 10.0]))
+        # Entity 0 is suddenly three times as exposed.
+        drifted = np.array([30.0, 10.0, 10.0])
+        pairs = np.array([[0, 0], [1, 2]])
+        weights = reweighter.pair_weights(pairs, drifted)
+        assert weights[0] < weights[1]
+
+    def test_weights_clamped_and_mean_one(self):
+        config = DriftReweighterConfig(min_weight=0.5, max_weight=2.0)
+        reweighter = DriftAwareReweighter(config)
+        reweighter.update_reference(np.array([1.0, 1.0, 1.0, 1.0]))
+        drifted = np.array([1000.0, 1.0, 1.0, 0.001])
+        pairs = np.array([[0, 0], [1, 2], [3, 3]])
+        weights = reweighter.pair_weights(pairs, drifted)
+        ratio = weights.max() / weights.min()
+        assert ratio <= (config.max_weight / config.min_weight) + 1e-9
+        assert weights.mean() == pytest.approx(1.0)
+
+
+class TestIntegration:
+    def test_alpc_accepts_pair_weights(self, split, candidate, e_semantic):
+        from repro.trmp import ALPCConfig, ALPCLinkPredictor
+
+        pairs, _ = split.train_pairs_and_labels()
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.5, 1.5, size=len(pairs))
+        model = ALPCLinkPredictor(ALPCConfig(epochs=3, seed=0))
+        model.fit(split, candidate.node_features, e_semantic, pair_weights=weights)
+        assert np.isfinite(model.predict_pairs(split.test_pos[:5])).all()
+
+    def test_alpc_rejects_misaligned_weights(self, split, candidate, e_semantic):
+        from repro.trmp import ALPCConfig, ALPCLinkPredictor
+
+        model = ALPCLinkPredictor(ALPCConfig(epochs=1, seed=0))
+        with pytest.raises(ConfigError):
+            model.fit(split, candidate.node_features, e_semantic, pair_weights=np.ones(3))
+
+    def test_pipeline_stable_mode_runs(self, world):
+        from repro.datasets import BehaviorConfig, BehaviorLogGenerator
+        from repro.embeddings import SkipGramConfig
+        from repro.embeddings.mlm import MLMConfig
+        from repro.embeddings.semantic import SemanticEncoderConfig
+        from repro.trmp import ALPCConfig, TRMPConfig, TRMPipeline
+
+        config = TRMPConfig(
+            skipgram=SkipGramConfig(epochs=5, seed=2),
+            semantic=SemanticEncoderConfig(mlm=MLMConfig(epochs=3, seed=3)),
+            alpc=ALPCConfig(epochs=6, seed=1),
+            stable_reweighting=True,
+        )
+        pipeline = TRMPipeline(world, config)
+        generator = BehaviorLogGenerator(world, BehaviorConfig(seed=9, drift_scale=0.8))
+        run = pipeline.run_week(generator.generate_week(0))
+        assert pipeline.reweighter is not None
+        assert pipeline.reweighter.has_reference
+        assert run.ranked_graph.num_edges > 0
