@@ -13,6 +13,8 @@ Takes ~30 s on a laptop. Walks through the full system once:
 
 from __future__ import annotations
 
+import time
+
 from repro import EGLSystem, World, WorldConfig
 from repro.datasets import BehaviorConfig, BehaviorLogGenerator
 
@@ -35,6 +37,10 @@ def main() -> None:
 
     covered = system.daily_preference_refresh(events)
     print(f"daily preference refresh covered {covered} users")
+    versions = system.runtime.versions()
+    print(f"published artifacts: graph v{versions['graph_version']} "
+          f"({versions['graph_tag']}), preferences v{versions['preference_version']} "
+          f"({versions['preference_tag']})")
 
     print("\n=== 3. Online stage (marketer request) ===")
     # Pick a popular entity as the marketer's service phrase.
@@ -51,6 +57,15 @@ def main() -> None:
           f"in {result.elapsed_seconds * 1000:.1f} ms:")
     for user in result.users[:5]:
         print(f"  user {user.user_id:>4d}  preference {user.score:.3f}")
+
+    # The same request again is served from the version-keyed expansion
+    # cache — the read path the serving runtime keeps warm under traffic.
+    start = time.perf_counter()
+    system.target_users_for_phrases([seed_entity.name], depth=2, k=20)
+    cached_ms = (time.perf_counter() - start) * 1000
+    cache = system.runtime.cache.stats()
+    print(f"\nrepeat request: {cached_ms:.2f} ms "
+          f"(expansion cache: {cache['hits']} hits / {cache['misses']} misses)")
 
 
 if __name__ == "__main__":

@@ -46,6 +46,11 @@ def main() -> None:
         # Daily cadence: preferences refresh on the trailing 30 days.
         covered = system.daily_preference_refresh(events)
         print(f"         daily preference refresh covered {covered} users")
+        # Each refresh hot-swapped a new artifact generation into serving.
+        health = system.runtime.health()
+        print(f"         runtime now serves graph v{health['graph_version']} / "
+              f"preferences v{health['preference_version']} "
+              f"(hot-swaps so far: {health['swap_count']})")
 
     stability = weekly_stability(weekly_acc)
     print(f"\nweekly ACC band: [{stability.min_acc:.3f}, {stability.max_acc:.3f}], "
@@ -55,9 +60,15 @@ def main() -> None:
     for version in system.store.versions():
         print(f"  version {version['version']}  tag {version['tag']}  "
               f"{version['edges']} edges")
-    graph = system.store.load_version()  # latest
-    print(f"online stage serves version {system.store.latest_version()} "
-          f"({graph.num_edges} relations)")
+
+    print("\nartifact registry (the offline → online handoff):")
+    for kind in ("graph", "preferences"):
+        for record in system.registry.records(kind):
+            print(f"  [{record.kind}] v{record.version}  tag {record.tag}  "
+                  f"source {record.source}")
+    reader = system.store.snapshot_reader()  # pinned to the latest version
+    print(f"online stage serves pinned snapshot v{reader.version} "
+          f"({reader.num_edges} relations)")
 
 
 if __name__ == "__main__":

@@ -25,17 +25,20 @@ Subpackages: :mod:`repro.tensor` (autograd), :mod:`repro.nn` (layers),
 
 from repro.datasets.world import World, WorldConfig
 from repro.online.system import EGLSystem
+from repro.serving import ArtifactRegistry, ServingRuntime
 from repro.trmp.pipeline import TRMPConfig, TRMPipeline
 from repro.trmp.alpc import ALPCConfig, ALPCLinkPredictor
 from repro.graph.entity_graph import EntityGraph
 from repro.graph.storage import GraphStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "World",
     "WorldConfig",
     "EGLSystem",
+    "ArtifactRegistry",
+    "ServingRuntime",
     "TRMPConfig",
     "TRMPipeline",
     "ALPCConfig",

@@ -11,6 +11,10 @@ Commands
 ``graph-stats``
     Run Stage I + II on a world and print the mined graph's structural
     summary per stage.
+``serve``
+    Bring up the layered serving runtime (registry → runtime → cached read
+    path → API), replay a burst of marketer requests through the API
+    envelope, then print artifact versions and cache statistics.
 """
 
 from __future__ import annotations
@@ -49,6 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--entities", type=int, default=200)
     stats.add_argument("--users", type=int, default=150)
     stats.add_argument("--seed", type=int, default=7)
+
+    serve = sub.add_parser("serve", help="run the serving runtime and replay requests")
+    serve.add_argument("--entities", type=int, default=200)
+    serve.add_argument("--users", type=int, default=150)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--requests", type=int, default=20, help="request burst size")
+    serve.add_argument("--depth", type=int, default=2)
+    serve.add_argument("--k", type=int, default=20)
     return parser
 
 
@@ -74,6 +86,9 @@ def cmd_demo(args) -> int:
     system.daily_preference_refresh(events)
     print(f"offline refresh: {report.num_relations} relations mined "
           f"in {time.perf_counter() - start:.0f}s")
+    versions = system.runtime.versions()
+    print(f"serving artifacts: graph v{versions['graph_version']}, "
+          f"preferences v{versions['preference_version']}")
 
     phrase = args.phrase or max(world.entities, key=lambda e: e.popularity).name
     print(f"\nmarketer phrase: {phrase!r} (depth {args.depth})")
@@ -116,7 +131,60 @@ def cmd_graph_stats(args) -> int:
     return 0
 
 
-_COMMANDS = {"demo": cmd_demo, "world": cmd_world, "graph-stats": cmd_graph_stats}
+def cmd_serve(args) -> int:
+    from repro.online import EGLSystem
+    from repro.online.api import EGLService, ExpandRequest, TargetRequest
+
+    if args.requests < 1:
+        print("error: --requests must be a positive integer", file=sys.stderr)
+        return 2
+    world, generator = _make_world(args)
+    events = generator.generate()
+    system = EGLSystem(world)
+    print("publishing offline artifacts...")
+    report = system.weekly_refresh(events)
+    system.daily_preference_refresh(events)
+    versions = system.runtime.versions()
+    print(f"  graph artifact    v{versions['graph_version']} ({versions['graph_tag']}), "
+          f"{report.num_relations} relations")
+    print(f"  preference artifact v{versions['preference_version']} "
+          f"({versions['preference_tag']})")
+
+    service = EGLService(system)
+    popular = sorted(world.entities, key=lambda e: -e.popularity)
+    phrases = [e.name for e in popular[: max(1, min(5, args.requests))]]
+    print(f"\nreplaying {args.requests} expand+target requests "
+          f"over {len(phrases)} phrases (depth {args.depth}, k {args.k})...")
+    start = time.perf_counter()
+    ok = 0
+    for i in range(args.requests):
+        expand = service.expand(
+            ExpandRequest(phrases=[phrases[i % len(phrases)]], depth=args.depth)
+        )
+        if not expand.ok:
+            continue
+        ids = [e["entity_id"] for e in expand.payload["entities"]][:10]
+        target = service.target(TargetRequest(entity_ids=ids, k=args.k))
+        ok += int(target.ok)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    print(f"  {ok}/{args.requests} requests served in {elapsed_ms:.1f} ms "
+          f"({elapsed_ms / max(args.requests, 1):.2f} ms/request)")
+
+    health = system.runtime.health()
+    cache = health["cache"]
+    print(f"\nruntime health: swaps {health['swap_count']}, "
+          f"graph v{health['graph_version']}, preferences v{health['preference_version']}")
+    print(f"expansion cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.0%}, size {cache['size']}/{cache['capacity']})")
+    return 0
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "world": cmd_world,
+    "graph-stats": cmd_graph_stats,
+    "serve": cmd_serve,
+}
 
 
 def main(argv: list[str] | None = None) -> int:

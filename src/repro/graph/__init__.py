@@ -17,7 +17,7 @@ from repro.graph.sampling import (
     sample_corrupted_targets,
     sample_negative_pairs,
 )
-from repro.graph.storage import GraphStore
+from repro.graph.storage import GraphStore, SnapshotReader
 from repro.graph.metrics import GraphSummary, connected_components, degree_histogram, local_clustering, mean_clustering, summarize_graph
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "sample_corrupted_targets",
     "sample_negative_pairs",
     "GraphStore",
+    "SnapshotReader",
     "GraphSummary",
     "connected_components",
     "degree_histogram",

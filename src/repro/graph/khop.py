@@ -97,13 +97,16 @@ def k_hop_expansion(
     depth: int,
     min_edge_weight: float = 0.0,
     max_neighbors_per_node: int | None = None,
+    max_nodes: int | None = None,
 ) -> ExpansionResult:
     """Breadth-first expansion with multiplicative confidence scores.
 
     Parameters
     ----------
     graph:
-        The mined entity graph.
+        The mined entity graph — anything exposing ``num_nodes`` and an
+        ``neighbors(node) -> (ids, weights)`` point read works, including
+        a pinned :class:`~repro.graph.storage.SnapshotReader`.
     seeds:
         Seed entity ids (deduplicated, order preserved).
     depth:
@@ -113,9 +116,15 @@ def k_hop_expansion(
     max_neighbors_per_node:
         If set, only each node's strongest ``k`` edges are followed —
         keeps the frontier tractable on hub entities.
+    max_nodes:
+        Hard budget on total discovered entities — the serving runtime's
+        per-request guardrail. Once reached, no new nodes are admitted
+        (scores of already-seen nodes may still improve).
     """
     if depth < 0:
         raise GraphError("depth must be non-negative")
+    if max_nodes is not None and max_nodes < 1:
+        raise GraphError("max_nodes must be >= 1")
     seen: dict[int, float] = {}
     parents: dict[int, int] = {}
     ordered_seeds: list[int] = []
@@ -145,6 +154,8 @@ def k_hop_expansion(
                 nbr = int(nbr)
                 score = base * float(w)
                 if nbr not in seen:
+                    if max_nodes is not None and len(seen) >= max_nodes:
+                        continue
                     seen[nbr] = score
                     parents[nbr] = node
                     next_frontier.append(nbr)

@@ -33,6 +33,66 @@ _OP_PUT = "put"
 _OP_DELETE = "delete"
 
 
+class SnapshotReader:
+    """Immutable read-only view pinned to one committed version.
+
+    The online stage serves from snapshot readers, never from the live
+    store: once constructed, the reader's arrays are loaded and stay frozen,
+    so concurrent writes, later commits, and even :meth:`GraphStore.compact`
+    deleting the backing file cannot change what an in-flight request sees.
+    Exposes the same ``num_nodes``/``neighbors`` contract as
+    :class:`~repro.graph.entity_graph.EntityGraph`, so k-hop expansion runs
+    directly on it.
+    """
+
+    def __init__(self, store: "GraphStore", version: int) -> None:
+        self.version = version
+        self.num_nodes = store.num_nodes
+        self._pairs, self._weights, self._relations = store._read_snapshot(version)
+        self._adjacency: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(len(self._pairs))
+
+    def _build_adjacency(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        if self._adjacency is None:
+            nbrs: dict[int, list[tuple[int, float]]] = {}
+            for (u, v), w in zip(self._pairs, self._weights):
+                nbrs.setdefault(int(u), []).append((int(v), float(w)))
+                nbrs.setdefault(int(v), []).append((int(u), float(w)))
+            self._adjacency = {
+                node: (
+                    np.array([n for n, _ in pairs], dtype=np.int64),
+                    np.array([w for _, w in pairs]),
+                )
+                for node, pairs in nbrs.items()
+            }
+        return self._adjacency
+
+    def neighbors(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbor_ids, weights)`` arrays — EntityGraph-compatible."""
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise StorageError(f"node {node} out of range")
+        empty = (np.empty(0, dtype=np.int64), np.empty(0))
+        return self._build_adjacency().get(node, empty)
+
+    def graph(self) -> EntityGraph:
+        """Materialise the pinned version as an :class:`EntityGraph`."""
+        if len(self._pairs) == 0:
+            return EntityGraph(
+                self.num_nodes, np.empty(0, np.int64), np.empty(0, np.int64)
+            )
+        return EntityGraph(
+            self.num_nodes,
+            self._pairs[:, 0],
+            self._pairs[:, 1],
+            self._weights,
+            self._relations,
+        )
+
+
 class GraphStore:
     """Durable store for versioned entity graphs.
 
@@ -190,6 +250,22 @@ class GraphStore:
                 self.num_nodes, np.empty(0, np.int64), np.empty(0, np.int64)
             )
         return EntityGraph(self.num_nodes, pairs[:, 0], pairs[:, 1], weights, relations)
+
+    def snapshot_reader(self, version: int | None = None) -> SnapshotReader:
+        """A pinned, immutable reader over one committed version.
+
+        Defaults to the latest version. Unlike :meth:`load_version`, the
+        reader keeps its version id attached and serves point reads without
+        the memtable merge — it is the artifact the serving runtime holds.
+        """
+        if version is None:
+            version = self.latest_version()
+            if version is None:
+                raise StorageError("no committed versions in this store")
+        known = {v["version"] for v in self._manifest["versions"]}
+        if version not in known:
+            raise StorageError(f"unknown version {version}; have {sorted(known)}")
+        return SnapshotReader(self, version)
 
     def current_graph(self) -> EntityGraph:
         """Latest snapshot merged with uncommitted memtable edits."""

@@ -5,14 +5,21 @@ module is that layer minus the transport: typed requests, dict-serialisable
 responses, input validation and error envelopes — so a thin HTTP wrapper
 (or a test) can drive :class:`repro.online.EGLSystem` without touching its
 Python objects.
+
+Validation happens at this edge: malformed knobs (non-positive ``depth`` /
+``k`` / ``max_entities``, non-finite ``min_score`` / ``weights``) are
+rejected with the uniform error envelope before they reach the runtime.
+Every response also reports the artifact versions that served it, so
+clients can correlate results across hot-swaps.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.online.system import EGLSystem
 
 
@@ -33,15 +40,40 @@ class TargetRequest:
 
 @dataclass
 class ApiResponse:
-    """Uniform envelope: ``ok`` + payload or error message."""
+    """Uniform envelope: ``ok`` + payload or error message.
+
+    ``graph_version``/``preference_version`` identify the active artifacts
+    at response time — ``None`` until the matching refresh has run.
+    """
 
     ok: bool
     elapsed_ms: float
     payload: dict = field(default_factory=dict)
     error: str | None = None
+    graph_version: int | None = None
+    preference_version: int | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+def _validate_expand(request: ExpandRequest) -> None:
+    if request.depth < 1:
+        raise ConfigError("depth must be a positive integer")
+    if request.max_entities < 1:
+        raise ConfigError("max_entities must be a positive integer")
+    if not math.isfinite(request.min_score):
+        raise ConfigError("min_score must be finite")
+
+
+def _validate_target(request: TargetRequest) -> None:
+    if request.k < 1:
+        raise ConfigError("k must be a positive integer")
+    if request.weights is not None:
+        if len(request.weights) != len(request.entity_ids):
+            raise ConfigError("weights must align with entity_ids")
+        if not all(math.isfinite(float(w)) for w in request.weights):
+            raise ConfigError("weights must be finite")
 
 
 class EGLService:
@@ -56,13 +88,24 @@ class EGLService:
         try:
             payload = fn()
         except ReproError as error:
-            return ApiResponse(
-                ok=False,
-                elapsed_ms=(time.perf_counter() - start) * 1000,
-                error=str(error),
-            )
+            return self._envelope(start, ok=False, error=str(error))
+        return self._envelope(start, ok=True, payload=payload)
+
+    def _envelope(
+        self,
+        start: float,
+        ok: bool,
+        payload: dict | None = None,
+        error: str | None = None,
+    ) -> ApiResponse:
+        versions = self.system.runtime.versions()
         return ApiResponse(
-            ok=True, elapsed_ms=(time.perf_counter() - start) * 1000, payload=payload
+            ok=ok,
+            elapsed_ms=(time.perf_counter() - start) * 1000,
+            payload=payload or {},
+            error=error,
+            graph_version=versions["graph_version"],
+            preference_version=versions["preference_version"],
         )
 
     # ------------------------------------------------------------------
@@ -70,6 +113,7 @@ class EGLService:
         """Phrase → k-hop subgraph, as plain dicts (Fig. 6 steps 1-2)."""
 
         def run() -> dict:
+            _validate_expand(request)
             view = self.system.expand(
                 request.phrases, depth=request.depth, min_score=request.min_score
             )
@@ -94,6 +138,7 @@ class EGLService:
         """Chosen entities → exported audience (Fig. 6 step 3)."""
 
         def run() -> dict:
+            _validate_target(request)
             result = self.system.target_users(
                 request.entity_ids, k=request.k, weights=request.weights
             )
@@ -102,6 +147,37 @@ class EGLService:
                 "users": [
                     {"user_id": u.user_id, "score": round(u.score, 6)}
                     for u in result.users
+                ],
+            }
+
+        return self._run(run)
+
+    def target_batch(self, requests: list[TargetRequest]) -> ApiResponse:
+        """Many entity sets → one vectorized scoring pass (bulk export)."""
+
+        def run() -> dict:
+            for request in requests:
+                _validate_target(request)
+            if not requests:
+                raise ConfigError("need at least one target request")
+            ks = {request.k for request in requests}
+            if len(ks) != 1:
+                raise ConfigError("batched target requests must share one k")
+            results = self.system.target_users_batch(
+                [request.entity_ids for request in requests],
+                k=ks.pop(),
+                weights=[request.weights for request in requests],
+            )
+            return {
+                "results": [
+                    {
+                        "entity_ids": result.entity_ids,
+                        "users": [
+                            {"user_id": u.user_id, "score": round(u.score, 6)}
+                            for u in result.users
+                        ],
+                    }
+                    for result in results
                 ],
             }
 
@@ -121,13 +197,17 @@ class EGLService:
 
         def run() -> dict:
             weeks = len(self.system.pipeline.weekly_runs)
-            has_prefs = self.system._preference_store is not None
             store_stats = self.system.store.stats() if self.system.store else None
             return {
                 "weekly_runs": weeks,
-                "preferences_ready": has_prefs,
+                "preferences_ready": self.system.runtime.health()["preferences_ready"],
                 "ensemble_ready": self.system.pipeline.ensemble is not None,
                 "store": store_stats,
+                "runtime": self.system.runtime.health(),
+                "artifacts": {
+                    kind: [r.to_dict() for r in self.system.registry.records(kind)]
+                    for kind in ("graph", "preferences")
+                },
             }
 
         return self._run(run)

@@ -17,6 +17,7 @@ from repro.embeddings.semantic import SemanticEntityEncoder
 from repro.errors import GraphError, VocabularyError
 from repro.graph.entity_graph import EntityGraph
 from repro.graph.khop import ExpansionResult, k_hop_expansion
+from repro.tensor import no_grad
 from repro.text.entity_dict import EntityDict
 from repro.text.tokenizer import WhitespaceTokenizer
 
@@ -53,7 +54,7 @@ class GraphReasoner:
 
     def __init__(
         self,
-        graph: EntityGraph,
+        graph: EntityGraph,  # or any neighbors()-compatible reader (SnapshotReader)
         entity_dict: EntityDict,
         semantic_encoder: SemanticEntityEncoder | None = None,
         e_semantic: np.ndarray | None = None,
@@ -80,7 +81,9 @@ class GraphReasoner:
             raise VocabularyError(
                 f"phrase {phrase!r} not in the Entity Dict and no semantic fallback configured"
             )
-        query = self.semantic_encoder.encode_text(phrase)
+        # Inference-only forward pass: serving must never record autograd.
+        with no_grad():
+            query = self.semantic_encoder.encode_text(phrase)
         sims = self.e_semantic @ query
         top = np.argsort(-sims)[:fallback_k]
         return [int(t) for t in top]
@@ -91,6 +94,7 @@ class GraphReasoner:
         depth: int = 2,
         min_score: float = 0.0,
         max_neighbors_per_node: int | None = 25,
+        max_nodes: int | None = None,
     ) -> ExpansionView:
         """k-hop expansion from the resolved phrases (depth = marketer knob)."""
         if depth < 0:
@@ -105,6 +109,7 @@ class GraphReasoner:
             seeds,
             depth,
             max_neighbors_per_node=max_neighbors_per_node,
+            max_nodes=max_nodes,
         )
         entities = []
         for node in raw.entities(min_score=min_score):

@@ -8,9 +8,12 @@ Offline cadence (§II-B Remark):
 * ``daily_preference_refresh(events)`` — recompute user embeddings and the
   preference index from the last 30 days of behavior.
 
-Online path: ``expand`` (entity graph reasoning with marketer-controlled
-depth) → marketer chooses entities (optionally recorded as feedback) →
-``target_users`` (top-K by average preference).
+Both producers end by *publishing* their output to the
+:class:`~repro.serving.ArtifactRegistry` and hot-swapping it into the
+:class:`~repro.serving.ServingRuntime` — the facade itself holds no live
+serving state. The online path (``expand`` → ``record_choice`` →
+``target_users``) delegates to the runtime, which serves from immutable,
+version-pinned artifacts behind a read-through expansion cache.
 """
 
 from __future__ import annotations
@@ -19,16 +22,15 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-import numpy as np
-
 from repro.datasets.behavior import BehaviorEvent
 from repro.datasets.world import World
 from repro.errors import NotFittedError
 from repro.graph.storage import GraphStore
 from repro.online.feedback import FeedbackRecorder
 from repro.online.reasoning import ExpansionView, GraphReasoner
-from repro.online.targeting import TargetingResult, UserTargeting
+from repro.online.targeting import TargetingResult
 from repro.preference.store import PreferenceStore
+from repro.serving import ArtifactRegistry, ServingRuntime
 from repro.trmp.pipeline import TRMPConfig, TRMPipeline, WeeklyRun
 
 
@@ -52,6 +54,8 @@ class EGLSystem:
         config: TRMPConfig | None = None,
         store_path: str | Path | None = None,
         preference_head_size: int = 200,
+        artifact_root: str | Path | None = None,
+        cache_size: int = 256,
     ) -> None:
         self.world = world
         self.pipeline = TRMPipeline(world, config)
@@ -62,9 +66,8 @@ class EGLSystem:
             else None
         )
         self.preference_head_size = preference_head_size
-        self._preference_store: PreferenceStore | None = None
-        self._reasoner: GraphReasoner | None = None
-        self._targeting: UserTargeting | None = None
+        self.registry = ArtifactRegistry(root=artifact_root)
+        self.runtime = ServingRuntime(cache_size=cache_size)
 
     # ------------------------------------------------------------------
     # Offline stage
@@ -75,7 +78,6 @@ class EGLSystem:
         feedback_pairs = self.feedback.drain()
         run: WeeklyRun = self.pipeline.run_week(events, feedback_pairs=feedback_pairs)
 
-        version = -1
         if self.store is not None:
             lo, hi = run.ranked_graph.canonical_pairs()
             self.store.put_edges(
@@ -83,17 +85,28 @@ class EGLSystem:
                 run.ranked_graph.weight.tolist(),
                 run.ranked_graph.relation.tolist(),
             )
-            version = self.store.commit_version(tag=f"week-{run.week}")
+            self.store.commit_version(tag=f"week-{run.week}")
+            record = self.registry.publish_graph(self.store, tag=f"week-{run.week}")
+        else:
+            record = self.registry.publish_graph(run.ranked_graph, tag=f"week-{run.week}")
 
         ensemble_trained = False
         if len(self.pipeline.weekly_runs) >= 2:
             self.pipeline.train_ensemble()
             ensemble_trained = True
 
-        self._reasoner = None  # graph changed; rebuild lazily
+        # Hot-swap: build the complete new reasoner, then activate it —
+        # requests already in flight finish on the previous version.
+        reasoner = GraphReasoner(
+            self.registry.open_graph(record.version),
+            self.pipeline.entity_dict,
+            semantic_encoder=self.pipeline.semantic_encoder,
+            e_semantic=self.pipeline.e_semantic,
+        )
+        self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
         return RefreshReport(
             week=run.week,
-            graph_version=version,
+            graph_version=record.version,
             num_relations=run.ranked_graph.num_edges,
             ensemble_trained=ensemble_trained,
             elapsed_seconds=time.perf_counter() - start,
@@ -105,32 +118,20 @@ class EGLSystem:
         sequences = self.pipeline.extractor.extract_sequences(events)
         store = PreferenceStore(embeddings, head_size=self.preference_head_size)
         store.build(sequences, self.world.num_users)
-        self._preference_store = store
-        self._targeting = UserTargeting(store)
+        record = self.registry.publish_preferences(store)
+        self.runtime.activate_preferences(store, record.version, tag=record.tag)
         return int(store.covered_users.sum())
 
     # ------------------------------------------------------------------
-    # Online stage
+    # Online stage (delegates to the serving runtime)
     # ------------------------------------------------------------------
     @property
     def reasoner(self) -> GraphReasoner:
-        if self._reasoner is None:
-            graph = (
-                self.store.load_version()
-                if self.store is not None and self.store.latest_version()
-                else self.pipeline.latest_graph()
-            )
-            self._reasoner = GraphReasoner(
-                graph,
-                self.pipeline.entity_dict,
-                semantic_encoder=self.pipeline.semantic_encoder,
-                e_semantic=self.pipeline.e_semantic,
-            )
-        return self._reasoner
+        return self.runtime.acquire().require_reasoner()
 
     def expand(self, phrases: list[str], depth: int = 2, min_score: float = 0.0) -> ExpansionView:
         """Marketer request: show the k-hop subgraph around the phrases."""
-        return self.reasoner.expand(phrases, depth=depth, min_score=min_score)
+        return self.runtime.expand(phrases, depth=depth, min_score=min_score)
 
     def record_choice(self, seed_entity_id: int, chosen_entity_ids: list[int]) -> None:
         """Marketer kept these entities — high-confidence feedback (§II-B)."""
@@ -143,11 +144,16 @@ class EGLSystem:
         weights: list[float] | None = None,
     ) -> TargetingResult:
         """Export the top-K users for the chosen entities (Fig. 6 step 3)."""
-        if self._targeting is None:
-            raise NotFittedError(
-                "daily_preference_refresh must run before targeting users"
-            )
-        return self._targeting.target(entity_ids, k, weights=weights)
+        return self.runtime.target(entity_ids, k=k, weights=weights)
+
+    def target_users_batch(
+        self,
+        entity_sets: list[list[int]],
+        k: int = 50,
+        weights: list[list[float] | None] | None = None,
+    ) -> list[TargetingResult]:
+        """Batched export: many entity sets scored in one vectorized pass."""
+        return self.runtime.target_batch(entity_sets, k=k, weights=weights)
 
     def target_users_for_phrases(
         self,
@@ -164,14 +170,13 @@ class EGLSystem:
         mirroring a marketer keeping the best suggestions rather than the
         whole k-hop frontier.
         """
-        view = self.expand(phrases, depth=depth, min_score=min_score)
-        chosen = view.entities if max_entities is None else view.entities[:max_entities]
-        entity_ids = [e.entity_id for e in chosen]
-        weights = [e.score for e in chosen]
-        return view, self.target_users(entity_ids, k=k, weights=weights)
+        return self.runtime.target_for_phrases(
+            phrases, depth=depth, k=k, min_score=min_score, max_entities=max_entities
+        )
 
     @property
     def preference_store(self) -> PreferenceStore:
-        if self._preference_store is None:
+        store = self.runtime.acquire().preference_store
+        if store is None:
             raise NotFittedError("daily_preference_refresh has not run yet")
-        return self._preference_store
+        return store

@@ -3,15 +3,21 @@
 The online stage must answer "top-K users for these entities" in
 milliseconds, so preferences are pre-computed: per entity, users are ranked
 by ``r_u · h_e`` and the head of each ranking is kept in an inverted index.
+
+A built store is also a *serving artifact*: :meth:`save`/:meth:`load` give
+it a durable ``.npz`` form and a version tag, so the daily producer can
+publish an immutable index that the serving runtime hot-swaps in.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigError, NotFittedError
+from repro.errors import ConfigError, NotFittedError, StorageError
 from repro.preference.user_embedding import user_embedding_matrix
 from repro.text.sequence_extractor import UserEntitySequence
 
@@ -31,6 +37,7 @@ class PreferenceStore:
         head_size: int = 200,
         normalize: bool = True,
         direct_weight: float = 25.0,
+        version_tag: str | None = None,
     ) -> None:
         if head_size < 1:
             raise ConfigError("head_size must be >= 1")
@@ -49,6 +56,9 @@ class PreferenceStore:
         #: direct interaction frequency with the entity (exact preference
         #: evidence). ``direct_weight`` scales the latter.
         self.direct_weight = direct_weight
+        #: Artifact identity: set by the daily producer (e.g. ``daily-3``)
+        #: and reported by the serving runtime's health endpoint.
+        self.version_tag = version_tag
         self._user_matrix: np.ndarray | None = None
         self._covered: np.ndarray | None = None
         self._interaction: np.ndarray | None = None  # (users, entities) freq
@@ -158,6 +168,105 @@ class PreferenceStore:
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top])]
         return [UserScore(int(u), float(scores[u])) for u in top]
+
+    def top_users_for_entity_sets(
+        self,
+        entity_sets: list[list[int]],
+        k: int,
+        weights: list[list[float] | None] | None = None,
+    ) -> list[list[UserScore]]:
+        """Batched :meth:`top_users_for_entities` over many entity sets.
+
+        The dense score block ``r_u · h_e`` is computed *once* for the union
+        of all requested entities, then each set combines its columns — one
+        matmul instead of one per request, which is how the runtime serves
+        a burst of targeting requests (or one request per expansion seed).
+        """
+        self._require_built()
+        if not entity_sets:
+            return []
+        if any(not ids for ids in entity_sets):
+            raise ConfigError("need at least one entity to target users")
+        if weights is not None and len(weights) != len(entity_sets):
+            raise ConfigError("weights must align with entity_sets")
+        union = sorted({int(e) for ids in entity_sets for e in ids})
+        union_ids = np.asarray(union, dtype=np.int64)
+        column = {e: i for i, e in enumerate(union)}
+        # (users, union) — the single shared forward pass.
+        block = self._user_matrix @ self.entity_embeddings[union_ids].T
+        if self.direct_weight:
+            block = block + self.direct_weight * self._interaction[:, union_ids]
+        k_eff = min(k, int(self._covered.sum()))
+        results: list[list[UserScore]] = []
+        for i, ids in enumerate(entity_sets):
+            cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
+            per_entity = block[:, cols]
+            w = None if weights is None else weights[i]
+            if w is not None:
+                w = np.asarray(w, dtype=np.float64)
+                if w.shape != (len(ids),):
+                    raise ConfigError("weights must align with entity_ids")
+                w = w / max(w.sum(), 1e-12)
+                scores = per_entity @ w
+            else:
+                scores = per_entity.mean(axis=1)
+            scores = np.where(self._covered, scores, -np.inf)
+            top = np.argpartition(-scores, k_eff - 1)[:k_eff]
+            top = top[np.argsort(-scores[top])]
+            results.append([UserScore(int(u), float(scores[u])) for u in top])
+        return results
+
+    # ------------------------------------------------------------------
+    # Artifact serialization (daily producer → serving runtime handoff)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Persist the built index as one immutable ``.npz`` artifact."""
+        self._require_built()
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "head_size": self.head_size,
+            "direct_weight": self.direct_weight,
+            "version_tag": self.version_tag,
+        }
+        np.savez_compressed(
+            path,
+            entity_embeddings=self.entity_embeddings,
+            user_matrix=self._user_matrix,
+            covered=self._covered,
+            interaction=self._interaction,
+            meta=np.array(json.dumps(meta)),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PreferenceStore":
+        """Reopen an artifact written by :meth:`save` — ready to serve."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"preference artifact missing: {path}")
+        with np.load(path, allow_pickle=False) as data:
+            try:
+                meta = json.loads(str(data["meta"]))
+                store = cls(
+                    data["entity_embeddings"],
+                    head_size=int(meta["head_size"]),
+                    # Embeddings were already normalised (or deliberately
+                    # not) before saving; do not renormalise on load.
+                    normalize=False,
+                    direct_weight=float(meta["direct_weight"]),
+                    version_tag=meta["version_tag"],
+                )
+                store._user_matrix = data["user_matrix"]
+                store._covered = data["covered"]
+                store._interaction = data["interaction"]
+            except KeyError as missing:
+                raise StorageError(
+                    f"preference artifact {path} is missing field {missing}"
+                ) from None
+        return store
 
     @property
     def user_matrix(self) -> np.ndarray:

@@ -1,0 +1,30 @@
+"""Layered serving runtime: registry → runtime → cached read path.
+
+``registry``
+    Immutable, versioned artifact records (weekly graphs, daily preference
+    indexes) — the offline → online handoff contract.
+``runtime``
+    :class:`ServingRuntime` owns the active artifact set and performs
+    atomic hot-swaps on refresh.
+``cache``
+    Version-keyed read-through LRU for k-hop expansions.
+"""
+
+from repro.serving.cache import VersionedLRUCache
+from repro.serving.registry import (
+    KIND_GRAPH,
+    KIND_PREFERENCES,
+    ArtifactRecord,
+    ArtifactRegistry,
+)
+from repro.serving.runtime import ActiveArtifacts, ServingRuntime
+
+__all__ = [
+    "VersionedLRUCache",
+    "ArtifactRecord",
+    "ArtifactRegistry",
+    "KIND_GRAPH",
+    "KIND_PREFERENCES",
+    "ActiveArtifacts",
+    "ServingRuntime",
+]

@@ -1,0 +1,201 @@
+"""Versioned artifact registry — the offline → online handoff contract.
+
+The paper's producers run on their own cadence (weekly TRMP graph, daily
+preference index) and the online stage must never observe a half-written
+artifact. The registry makes that explicit: every publish creates an
+immutable, named, versioned record; readers open artifacts *by version* and
+the record list only ever grows. Two artifact kinds exist today:
+
+* ``graph`` — a committed :class:`~repro.graph.GraphStore` version (opened
+  as a pinned :class:`~repro.graph.storage.SnapshotReader`) or an in-memory
+  :class:`~repro.graph.EntityGraph` when the system runs storeless;
+* ``preferences`` — a built :class:`~repro.preference.PreferenceStore`,
+  serialized to ``.npz`` when the registry has a root directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.graph.entity_graph import EntityGraph
+from repro.graph.storage import GraphStore, SnapshotReader
+from repro.preference.store import PreferenceStore
+
+KIND_GRAPH = "graph"
+KIND_PREFERENCES = "preferences"
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One immutable published artifact: what it is and where it lives."""
+
+    kind: str
+    version: int
+    tag: str
+    source: str  # "store" | "file" | "memory"
+    path: str | None = None
+    edges: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "version": self.version,
+            "tag": self.tag,
+            "source": self.source,
+            "path": self.path,
+            "edges": self.edges,
+        }
+
+
+class ArtifactRegistry:
+    """Append-only catalogue of published serving artifacts.
+
+    Parameters
+    ----------
+    root:
+        Optional directory for durable artifacts (preference ``.npz``
+        files). Without it the registry still versions and names artifacts,
+        holding storeless ones in memory — the shape integration tests use.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._records: dict[str, list[ArtifactRecord]] = {
+            KIND_GRAPH: [],
+            KIND_PREFERENCES: [],
+        }
+        self._graph_store: GraphStore | None = None
+        self._memory: dict[tuple[str, int], object] = {}
+
+    # ------------------------------------------------------------------
+    # Publish (producer side)
+    # ------------------------------------------------------------------
+    def publish_graph(
+        self,
+        graph: GraphStore | EntityGraph,
+        version: int | None = None,
+        tag: str | None = None,
+    ) -> ArtifactRecord:
+        """Register a weekly graph artifact.
+
+        A :class:`GraphStore` publishes one of its committed versions
+        (default: latest) — the snapshot file *is* the artifact. A plain
+        :class:`EntityGraph` is registered in memory under the next
+        version number.
+        """
+        if isinstance(graph, GraphStore):
+            if self._graph_store is not None and self._graph_store is not graph:
+                raise StorageError("registry is already bound to a different GraphStore")
+            self._graph_store = graph
+            if version is None:
+                version = graph.latest_version()
+                if version is None:
+                    raise StorageError("store has no committed versions to publish")
+            meta = {v["version"]: v for v in graph.versions()}
+            if version not in meta:
+                raise StorageError(f"store has no committed version {version}")
+            record = ArtifactRecord(
+                kind=KIND_GRAPH,
+                version=version,
+                tag=tag or meta[version]["tag"],
+                source="store",
+                path=str(graph.path),
+                edges=meta[version]["edges"],
+            )
+        else:
+            version = self._next_version(KIND_GRAPH) if version is None else version
+            record = ArtifactRecord(
+                kind=KIND_GRAPH,
+                version=version,
+                tag=tag or f"graph-v{version}",
+                source="memory",
+                edges=graph.num_edges,
+            )
+            self._memory[(KIND_GRAPH, version)] = graph
+        return self._append(record)
+
+    def publish_preferences(
+        self, store: PreferenceStore, tag: str | None = None
+    ) -> ArtifactRecord:
+        """Register a daily preference artifact (saved to disk if rooted)."""
+        version = self._next_version(KIND_PREFERENCES)
+        tag = tag or f"daily-{version}"
+        store.version_tag = tag
+        if self.root is not None:
+            path = store.save(self.root / f"preferences-{version:06d}.npz")
+            record = ArtifactRecord(
+                kind=KIND_PREFERENCES, version=version, tag=tag,
+                source="file", path=str(path),
+            )
+        else:
+            record = ArtifactRecord(
+                kind=KIND_PREFERENCES, version=version, tag=tag, source="memory"
+            )
+            self._memory[(KIND_PREFERENCES, version)] = store
+        return self._append(record)
+
+    # ------------------------------------------------------------------
+    # Open (serving side)
+    # ------------------------------------------------------------------
+    def open_graph(self, version: int | None = None) -> SnapshotReader | EntityGraph:
+        """Open a published graph artifact, pinned to its version."""
+        record = self._resolve(KIND_GRAPH, version)
+        if record.source == "store":
+            assert self._graph_store is not None
+            return self._graph_store.snapshot_reader(record.version)
+        return self._memory[(KIND_GRAPH, record.version)]
+
+    def open_preferences(self, version: int | None = None) -> PreferenceStore:
+        """Open a published preference artifact (loads from disk if rooted)."""
+        record = self._resolve(KIND_PREFERENCES, version)
+        if record.source == "file":
+            return PreferenceStore.load(record.path)
+        return self._memory[(KIND_PREFERENCES, record.version)]
+
+    # ------------------------------------------------------------------
+    # Catalogue
+    # ------------------------------------------------------------------
+    def records(self, kind: str) -> list[ArtifactRecord]:
+        return list(self._require_kind(kind))
+
+    def latest(self, kind: str) -> ArtifactRecord | None:
+        records = self._require_kind(kind)
+        return records[-1] if records else None
+
+    def get_record(self, kind: str, version: int) -> ArtifactRecord:
+        for record in self._require_kind(kind):
+            if record.version == version:
+                return record
+        raise StorageError(f"no {kind} artifact with version {version}")
+
+    # ------------------------------------------------------------------
+    def _require_kind(self, kind: str) -> list[ArtifactRecord]:
+        if kind not in self._records:
+            raise StorageError(f"unknown artifact kind {kind!r}")
+        return self._records[kind]
+
+    def _resolve(self, kind: str, version: int | None) -> ArtifactRecord:
+        if version is None:
+            record = self.latest(kind)
+            if record is None:
+                raise StorageError(f"no published {kind} artifacts")
+            return record
+        return self.get_record(kind, version)
+
+    def _next_version(self, kind: str) -> int:
+        records = self._require_kind(kind)
+        return records[-1].version + 1 if records else 1
+
+    def _append(self, record: ArtifactRecord) -> ArtifactRecord:
+        records = self._require_kind(record.kind)
+        if records and record.version <= records[-1].version:
+            raise StorageError(
+                f"{record.kind} version {record.version} is not newer than "
+                f"the latest ({records[-1].version})"
+            )
+        records.append(record)
+        return record

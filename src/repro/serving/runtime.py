@@ -1,0 +1,225 @@
+"""ServingRuntime — owns the active artifact set and the online read path.
+
+The paper's online stage answers marketer requests "in milliseconds" while
+the offline producers republish artifacts weekly (entity graph) and daily
+(preference index). This layer makes that safe:
+
+* the active artifacts live in one immutable :class:`ActiveArtifacts`
+  value; a refresh builds the *complete* next value and installs it with a
+  single reference assignment (atomic under the GIL), so a request that
+  already called :meth:`acquire` finishes on the old version while new
+  requests see the new one — no half-swapped state is ever observable;
+* expansions are answered through a version-keyed read-through LRU cache
+  (:class:`~repro.serving.cache.VersionedLRUCache`); because the version is
+  part of the key, a cached expansion can never be served for a graph that
+  did not produce it;
+* every forward pass on the read path runs under
+  :func:`repro.tensor.no_grad`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import NotFittedError
+from repro.online.reasoning import ExpansionView, GraphReasoner
+from repro.online.targeting import TargetingResult, UserTargeting
+from repro.preference.store import PreferenceStore
+from repro.serving.cache import VersionedLRUCache
+from repro.tensor import no_grad
+
+
+@dataclass(frozen=True)
+class ActiveArtifacts:
+    """The immutable artifact set one request generation serves from."""
+
+    graph_version: int | None = None
+    graph_tag: str | None = None
+    reasoner: GraphReasoner | None = None
+    preference_version: int | None = None
+    preference_tag: str | None = None
+    preference_store: PreferenceStore | None = None
+    targeting: UserTargeting | None = None
+
+    def require_reasoner(self) -> GraphReasoner:
+        if self.reasoner is None:
+            raise NotFittedError("no graph artifact activated; run weekly_refresh first")
+        return self.reasoner
+
+    def require_targeting(self) -> UserTargeting:
+        if self.targeting is None:
+            raise NotFittedError(
+                "daily_preference_refresh must run before targeting users"
+            )
+        return self.targeting
+
+
+class ServingRuntime:
+    """Hot-swappable serving layer between offline artifacts and the API."""
+
+    def __init__(self, cache_size: int = 256) -> None:
+        self._active = ActiveArtifacts()
+        self._cache = VersionedLRUCache(cache_size)
+        self._swap_count = 0
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Artifact activation (called by the offline producers)
+    # ------------------------------------------------------------------
+    def activate_graph(
+        self, reasoner: GraphReasoner, version: int, tag: str | None = None
+    ) -> None:
+        """Hot-swap the weekly graph artifact.
+
+        Builds the full next generation before installing it; cached
+        expansions of the replaced version are purged (they are already
+        unreachable — version is part of every cache key — this just
+        returns the memory).
+        """
+        previous = self._active
+        self._active = replace(
+            previous,
+            graph_version=version,
+            graph_tag=tag or f"graph-v{version}",
+            reasoner=reasoner,
+        )
+        self._swap_count += 1
+        if previous.graph_version is not None and previous.graph_version != version:
+            self._cache.purge_version(previous.graph_version)
+
+    def activate_preferences(
+        self, store: PreferenceStore, version: int, tag: str | None = None
+    ) -> None:
+        """Hot-swap the daily preference artifact."""
+        self._active = replace(
+            self._active,
+            preference_version=version,
+            preference_tag=tag or store.version_tag or f"daily-{version}",
+            preference_store=store,
+            targeting=UserTargeting(store),
+        )
+        self._swap_count += 1
+
+    def acquire(self) -> ActiveArtifacts:
+        """Snapshot the active generation — in-flight work stays on it."""
+        return self._active
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def expand(
+        self,
+        phrases: list[str],
+        depth: int = 2,
+        min_score: float = 0.0,
+        max_neighbors_per_node: int | None = 25,
+        max_nodes: int | None = None,
+    ) -> ExpansionView:
+        """k-hop expansion, read-through cached under the active version."""
+        active = self.acquire()
+        reasoner = active.require_reasoner()
+        key = (
+            tuple(p.strip().lower() for p in phrases),
+            depth,
+            float(min_score),
+            max_neighbors_per_node,
+            max_nodes,
+        )
+        cached = self._cache.get(active.graph_version, key)
+        if cached is not None:
+            return cached
+        with no_grad():
+            view = reasoner.expand(
+                phrases,
+                depth=depth,
+                min_score=min_score,
+                max_neighbors_per_node=max_neighbors_per_node,
+                max_nodes=max_nodes,
+            )
+        self._cache.put(active.graph_version, key, view)
+        return view
+
+    def target(
+        self,
+        entity_ids: list[int],
+        k: int = 50,
+        weights: list[float] | None = None,
+    ) -> TargetingResult:
+        """Top-K users for one entity set (scoring already under no_grad)."""
+        return self.acquire().require_targeting().target(entity_ids, k, weights=weights)
+
+    def target_batch(
+        self,
+        entity_sets: list[list[int]],
+        k: int = 50,
+        weights: list[list[float] | None] | None = None,
+    ) -> list[TargetingResult]:
+        """Vectorized scoring of many entity sets in one call."""
+        return self.acquire().require_targeting().target_batch(
+            entity_sets, k, weights=weights
+        )
+
+    def target_for_phrases(
+        self,
+        phrases: list[str],
+        depth: int = 2,
+        k: int = 50,
+        min_score: float = 0.0,
+        max_entities: int | None = 15,
+    ) -> tuple[ExpansionView, TargetingResult]:
+        """The full cold-start flow: phrases → cached expansion → top-K users."""
+        view = self.expand(phrases, depth=depth, min_score=min_score)
+        chosen = view.entities if max_entities is None else view.entities[:max_entities]
+        entity_ids = [e.entity_id for e in chosen]
+        weights = [e.score for e in chosen]
+        return view, self.target(entity_ids, k=k, weights=weights)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def versions(self) -> dict:
+        """The active artifact versions — attached to every API response."""
+        active = self._active
+        return {
+            "graph_version": active.graph_version,
+            "graph_tag": active.graph_tag,
+            "preference_version": active.preference_version,
+            "preference_tag": active.preference_tag,
+        }
+
+    def health(self) -> dict:
+        """Liveness plus artifact/cache state for the health endpoint."""
+        active = self._active
+        return {
+            "graph_ready": active.reasoner is not None,
+            "preferences_ready": active.targeting is not None,
+            "swap_count": self._swap_count,
+            "uptime_seconds": time.time() - self._started_at,
+            "cache": self._cache.stats(),
+            **self.versions(),
+        }
+
+    @property
+    def cache(self) -> VersionedLRUCache:
+        return self._cache
+
+    def warm(
+        self,
+        phrase_lists: list[list[str]],
+        depths: tuple[int, ...] = (2,),
+    ) -> int:
+        """Pre-populate the expansion cache (e.g. after a hot-swap).
+
+        Returns the number of expansions primed; resolution failures are
+        skipped — warming is best-effort by design.
+        """
+        primed = 0
+        for phrases, depth in itertools.product(phrase_lists, depths):
+            try:
+                self.expand(list(phrases), depth=depth)
+                primed += 1
+            except Exception:
+                continue
+        return primed

@@ -20,7 +20,7 @@ from repro.trmp.negative_sampling import (
 )
 from repro.trmp.alpc import ALPCConfig, ALPCLinkPredictor, ALPCModel, ALPCTrainReport
 from repro.trmp.ensemble import EnsembleConfig, EnsembleLinkPredictor, EnsembleModel
-from repro.trmp.pipeline import TRMPConfig, TRMPipeline, WeeklyRun
+from repro.trmp.pipeline import OfflineArtifacts, TRMPConfig, TRMPipeline, WeeklyRun
 from repro.trmp.stable import DriftAwareReweighter, DriftReweighterConfig
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "TRMPConfig",
     "TRMPipeline",
     "WeeklyRun",
+    "OfflineArtifacts",
     "DriftAwareReweighter",
     "DriftReweighterConfig",
 ]

@@ -72,6 +72,23 @@ class WeeklyRun:
         return self.alpc.node_embeddings
 
 
+@dataclass(frozen=True)
+class OfflineArtifacts:
+    """The publishable output of the offline stage — what serving consumes.
+
+    The pipeline keeps training state (splits, models, snapshots); the
+    serving side needs only the mined graph, the entity embeddings behind
+    user preferences, and an artifact tag. This is the handoff contract the
+    registry versions.
+    """
+
+    week: int
+    tag: str
+    graph: EntityGraph
+    entity_embeddings: np.ndarray
+    ensemble_ready: bool
+
+
 class TRMPipeline:
     """Drives the three TRMP stages over weekly behavior-log drops."""
 
@@ -247,3 +264,16 @@ class TRMPipeline:
         if not self.weekly_runs:
             raise NotFittedError("pipeline has not processed any data yet")
         return self.weekly_runs[-1].ranked_graph
+
+    def latest_artifacts(self) -> OfflineArtifacts:
+        """Package the latest run for publication to the serving registry."""
+        if not self.weekly_runs:
+            raise NotFittedError("pipeline has not processed any data yet")
+        run = self.weekly_runs[-1]
+        return OfflineArtifacts(
+            week=run.week,
+            tag=f"week-{run.week}",
+            graph=run.ranked_graph,
+            entity_embeddings=self.entity_embeddings(),
+            ensemble_ready=self.ensemble is not None,
+        )

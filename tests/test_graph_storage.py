@@ -165,3 +165,78 @@ class TestDurability:
         (path / f"snapshot-{v:06d}.npz").unlink()
         with pytest.raises(StorageError):
             store.load_version(v)
+
+
+class TestCrashRecoveryEdgeCases:
+    """Torn-header vs torn-payload vs trailing-garbage WAL tails, and a
+    manifest whose snapshot file vanished — each must recover (or fail)
+    cleanly on reopen."""
+
+    @staticmethod
+    def _wal_size_after_record_one(store):
+        # One record = 8-byte header + payload; capture it while intact.
+        return store._wal_path.stat().st_size
+
+    def test_torn_header_at_tail(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        keep = self._wal_size_after_record_one(store)
+        # Crash mid-append: only 4 of the next record's 8 header bytes land.
+        with open(store._wal_path, "ab") as f:
+            f.write(b"\x20\x00\x00\x00")
+        reopened = GraphStore(path)
+        assert reopened.current_graph().has_edge(0, 1)
+        assert reopened._wal_path.stat().st_size == keep  # tail truncated
+
+    def test_torn_payload_at_tail(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        keep = self._wal_size_after_record_one(store)
+        # A complete header promising 64 payload bytes, but only 5 written.
+        with open(store._wal_path, "ab") as f:
+            f.write(struct.pack("<II", 64, 12345))
+            f.write(b"abcde")
+        reopened = GraphStore(path)
+        assert reopened.current_graph().has_edge(0, 1)
+        assert reopened._wal_path.stat().st_size == keep
+
+    def test_trailing_garbage_after_valid_record(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        keep = self._wal_size_after_record_one(store)
+        # Garbage that parses as a full header+payload but fails the CRC.
+        with open(store._wal_path, "ab") as f:
+            f.write(struct.pack("<II", 4, 0xDEADBEEF))
+            f.write(b"junk")
+        reopened = GraphStore(path)
+        assert reopened.current_graph().has_edge(0, 1)
+        assert reopened._wal_path.stat().st_size == keep
+        # The store stays writable after truncation, durably.
+        reopened.put_edges([(4, 5)])
+        again = GraphStore(path)
+        assert again.current_graph().has_edge(0, 1)
+        assert again.current_graph().has_edge(4, 5)
+
+    def test_reopen_with_manifest_pointing_at_missing_snapshot(self, tmp_path):
+        path = tmp_path / "store"
+        store = GraphStore(path, num_nodes=10)
+        store.put_edges([(0, 1)])
+        v = store.commit_version("week-0")
+        del store
+        (path / f"snapshot-{v:06d}.npz").unlink()
+        # Reopen succeeds (the manifest is intact) ...
+        reopened = GraphStore(path)
+        assert reopened.latest_version() == v
+        # ... but every read path that needs the snapshot fails loudly
+        # instead of silently serving an empty graph.
+        with pytest.raises(StorageError):
+            reopened.load_version(v)
+        with pytest.raises(StorageError):
+            reopened.snapshot_reader(v)
+        with pytest.raises(StorageError):
+            reopened.neighbors(0)
+        with pytest.raises(StorageError):
+            reopened.current_graph()

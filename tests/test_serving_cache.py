@@ -1,0 +1,97 @@
+"""VersionedLRUCache: LRU semantics, version scoping, stats."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import VersionedLRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = VersionedLRUCache(4)
+        assert cache.get(1, "a") is None
+        cache.put(1, "a", "value")
+        assert cache.get(1, "a") == "value"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            VersionedLRUCache(-1)
+
+    def test_zero_capacity_disables_cache(self):
+        cache = VersionedLRUCache(0)
+        cache.put(1, "a", "value")
+        assert cache.get(1, "a") is None
+        assert len(cache) == 0
+
+    def test_put_refreshes_existing_key(self):
+        cache = VersionedLRUCache(4)
+        cache.put(1, "a", "old")
+        cache.put(1, "a", "new")
+        assert cache.get(1, "a") == "new"
+        assert len(cache) == 1
+
+
+class TestLRU:
+    def test_least_recently_used_is_evicted(self):
+        cache = VersionedLRUCache(2)
+        cache.put(1, "a", 1)
+        cache.put(1, "b", 2)
+        cache.get(1, "a")  # "a" is now most recently used
+        cache.put(1, "c", 3)
+        assert cache.get(1, "b") is None  # evicted
+        assert cache.get(1, "a") == 1
+        assert cache.get(1, "c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = VersionedLRUCache(3)
+        for i in range(10):
+            cache.put(1, i, i)
+        assert len(cache) == 3
+
+
+class TestVersionScoping:
+    def test_same_key_different_versions_are_distinct(self):
+        cache = VersionedLRUCache(4)
+        cache.put(1, "query", "old-graph-answer")
+        cache.put(2, "query", "new-graph-answer")
+        assert cache.get(1, "query") == "old-graph-answer"
+        assert cache.get(2, "query") == "new-graph-answer"
+
+    def test_new_version_never_sees_old_entries(self):
+        cache = VersionedLRUCache(4)
+        cache.put(1, "query", "stale")
+        assert cache.get(2, "query") is None
+
+    def test_purge_version_drops_only_that_version(self):
+        cache = VersionedLRUCache(8)
+        cache.put(1, "a", 1)
+        cache.put(1, "b", 2)
+        cache.put(2, "a", 3)
+        assert cache.purge_version(1) == 2
+        assert cache.get(1, "a") is None
+        assert cache.get(2, "a") == 3
+
+    def test_clear(self):
+        cache = VersionedLRUCache(4)
+        cache.put(1, "a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = VersionedLRUCache(4)
+        cache.put(1, "a", 1)
+        cache.get(1, "a")
+        cache.get(1, "a")
+        cache.get(1, "missing")
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert VersionedLRUCache(4).stats()["hit_rate"] == 0.0
