@@ -1,0 +1,160 @@
+"""Observability overhead gate: instrumented vs uninstrumented read path.
+
+The obs layer rides the hottest path in the system — every API request
+opens a span, bumps counters and observes latency histograms. This
+benchmark serves the same warm (cached) expansion workload through two
+stacks sharing the *same* activated artifacts:
+
+* instrumented — the default :class:`~repro.obs.Observability` bundle;
+* uninstrumented — ``Observability.disabled()``, whose metric/span calls
+  are shared no-ops (the zero-cost baseline).
+
+Warm requests are the worst case for relative overhead (microseconds of
+work per request, nothing to amortise against), so gating here bounds the
+cost everywhere. Interleaved rounds, GC paused during measurement (as
+:mod:`timeit` does), and a median-of-round-means estimator keep the ratio
+stable against scheduler noise. Acceptance: < 10% added latency at the
+API layer.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+
+from repro.obs import Observability
+from repro.online import EGLSystem
+from repro.online.api import EGLService, ExpandRequest
+from repro.serving import ServingRuntime
+
+from bench_common import bench_trmp_config, format_table, get_context, save_result
+
+ROUNDS = 25
+CALLS_PER_ROUND = 300
+MAX_OVERHEAD_PCT = 10.0
+
+
+def _prepare() -> tuple[object, EGLService, EGLService]:
+    """Two services over identical artifacts: obs on vs obs off."""
+    context = get_context()
+    system = EGLSystem(context.world, bench_trmp_config())
+    system.weekly_refresh(context.events)
+    recent = context.generator.generate(start_day=100, num_days=30, rng=99)
+    system.daily_preference_refresh(recent)
+
+    active = system.runtime.acquire()
+    bare_system = EGLSystem(context.world, bench_trmp_config(), obs=Observability.disabled())
+    bare_system.runtime.activate_graph(
+        active.reasoner, version=active.graph_version, tag=active.graph_tag
+    )
+    bare_system.runtime.activate_preferences(
+        active.preference_store, version=active.preference_version,
+        tag=active.preference_tag,
+    )
+    return context, EGLService(system), EGLService(bare_system)
+
+
+def _time_service_round(service: EGLService, requests: list[ExpandRequest]) -> float:
+    """Mean per-call seconds for one warm round at the API layer."""
+    start = time.perf_counter()
+    for request in requests:
+        service.expand(request)
+    return (time.perf_counter() - start) / len(requests)
+
+
+def _time_runtime_round(runtime: ServingRuntime, phrases: list[list[str]]) -> float:
+    """Mean per-call seconds for one warm round at the runtime layer."""
+    start = time.perf_counter()
+    for p in phrases:
+        runtime.expand(p, depth=2)
+    return (time.perf_counter() - start) / len(phrases)
+
+
+def run_bench() -> dict:
+    context, instrumented, bare = _prepare()
+    popular = sorted(context.world.entities, key=lambda e: -e.popularity)
+    names = [e.name for e in popular[:5]]
+    requests = [
+        ExpandRequest(phrases=[names[i % len(names)]], depth=2)
+        for i in range(CALLS_PER_ROUND)
+    ]
+    phrases = [[names[i % len(names)]] for i in range(CALLS_PER_ROUND)]
+
+    # Prime both caches so every measured call is warm.
+    _time_service_round(instrumented, requests)
+    _time_service_round(bare, requests)
+
+    api_instr, api_bare, rt_instr, rt_bare = [], [], [], []
+    gc.collect()
+    gc.disable()  # timeit-style: allocator noise must not decide the gate
+    try:
+        for round_index in range(ROUNDS):
+            # Alternate order so drift (thermal, caches) hits both sides
+            # equally.
+            if round_index % 2 == 0:
+                api_bare.append(_time_service_round(bare, requests))
+                api_instr.append(_time_service_round(instrumented, requests))
+                rt_bare.append(_time_runtime_round(bare.system.runtime, phrases))
+                rt_instr.append(_time_runtime_round(instrumented.system.runtime, phrases))
+            else:
+                api_instr.append(_time_service_round(instrumented, requests))
+                api_bare.append(_time_service_round(bare, requests))
+                rt_instr.append(_time_runtime_round(instrumented.system.runtime, phrases))
+                rt_bare.append(_time_runtime_round(bare.system.runtime, phrases))
+    finally:
+        gc.enable()
+
+    def best(samples: list[float]) -> float:
+        # Median of round means: min-of-means lets one lucky baseline round
+        # inflate the ratio; the median is robust on both sides.
+        return float(np.median(samples))
+
+    api_overhead = best(api_instr) / best(api_bare) - 1.0
+    runtime_overhead = best(rt_instr) / best(rt_bare) - 1.0
+    return {
+        "rounds": ROUNDS,
+        "calls_per_round": CALLS_PER_ROUND,
+        "api_instrumented_us": best(api_instr) * 1e6,
+        "api_uninstrumented_us": best(api_bare) * 1e6,
+        "api_overhead_pct": api_overhead * 100,
+        "runtime_instrumented_us": best(rt_instr) * 1e6,
+        "runtime_uninstrumented_us": best(rt_bare) * 1e6,
+        "runtime_overhead_pct": runtime_overhead * 100,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "instrumented_cache": instrumented.system.runtime.cache.stats(),
+    }
+
+
+def test_obs_overhead_under_gate(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    rows = [
+        [
+            "api (EGLService.expand)",
+            f"{payload['api_uninstrumented_us']:.2f}",
+            f"{payload['api_instrumented_us']:.2f}",
+            f"{payload['api_overhead_pct']:+.2f}%",
+        ],
+        [
+            "runtime (ServingRuntime.expand)",
+            f"{payload['runtime_uninstrumented_us']:.2f}",
+            f"{payload['runtime_instrumented_us']:.2f}",
+            f"{payload['runtime_overhead_pct']:+.2f}%",
+        ],
+    ]
+    text = format_table(
+        "Observability overhead — warm expansion, obs off vs on (median-round µs/call)",
+        ["layer", "off µs", "on µs", "overhead"],
+        rows,
+    )
+    text += (
+        f"\ngate: API-layer overhead must stay < {payload['max_overhead_pct']:.0f}% "
+        f"(measured {payload['api_overhead_pct']:+.2f}% over "
+        f"{payload['rounds']} rounds x {payload['calls_per_round']} calls).\n"
+    )
+    save_result("obs_overhead", payload, text)
+
+    # Acceptance: instrumentation adds < 10% to warm request latency.
+    assert payload["api_overhead_pct"] < payload["max_overhead_pct"]

@@ -67,6 +67,17 @@ def main() -> None:
     print(f"\nrepeat request: {cached_ms:.2f} ms "
           f"(expansion cache: {cache['hits']} hits / {cache['misses']} misses)")
 
+    print("\n=== 4. Observability ===")
+    # The weekly refresh timed each TRMP stage through the obs layer.
+    total = sum(report.stage_seconds.values()) or 1.0
+    for stage, seconds in sorted(report.stage_seconds.items(), key=lambda s: -s[1]):
+        print(f"  {stage:<24s} {seconds * 1000:8.1f} ms  ({seconds / total:5.1%})")
+    snapshot = system.obs.metrics.snapshot()
+    swaps = sum(s["value"] for s in snapshot["counters"]["serving_hot_swaps_total"])
+    print(f"hot swaps: {swaps:.0f}, metric families: "
+          f"{len(snapshot['counters']) + len(snapshot['gauges']) + len(snapshot['histograms'])} "
+          f"(see `python -m repro.cli metrics` for the /metrics exposition)")
+
 
 if __name__ == "__main__":
     main()

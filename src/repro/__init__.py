@@ -20,10 +20,12 @@ Subpackages: :mod:`repro.tensor` (autograd), :mod:`repro.nn` (layers),
 :mod:`repro.text`, :mod:`repro.embeddings`, :mod:`repro.graph`,
 :mod:`repro.gnn`, :mod:`repro.baselines`, :mod:`repro.trmp` (the core),
 :mod:`repro.preference`, :mod:`repro.online`, :mod:`repro.datasets`,
-:mod:`repro.eval`, :mod:`repro.simulation`.
+:mod:`repro.eval`, :mod:`repro.simulation`, :mod:`repro.obs`
+(metrics/tracing/clock).
 """
 
 from repro.datasets.world import World, WorldConfig
+from repro.obs import Observability
 from repro.online.system import EGLSystem
 from repro.serving import ArtifactRegistry, ServingRuntime
 from repro.trmp.pipeline import TRMPConfig, TRMPipeline
@@ -37,6 +39,7 @@ __all__ = [
     "World",
     "WorldConfig",
     "EGLSystem",
+    "Observability",
     "ArtifactRegistry",
     "ServingRuntime",
     "TRMPConfig",

@@ -14,7 +14,12 @@ Commands
 ``serve``
     Bring up the layered serving runtime (registry → runtime → cached read
     path → API), replay a burst of marketer requests through the API
-    envelope, then print artifact versions and cache statistics.
+    envelope, then print artifact versions, cache statistics and the
+    ``/metrics`` exposition.
+``metrics``
+    Run a miniature offline + online workload and print the Prometheus
+    text exposition — request counters, latency histograms, cache
+    hit/miss counts, artifact version gauges and per-stage TRMP timings.
 """
 
 from __future__ import annotations
@@ -61,6 +66,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=20, help="request burst size")
     serve.add_argument("--depth", type=int, default=2)
     serve.add_argument("--k", type=int, default=20)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a mini workload and print the /metrics exposition"
+    )
+    metrics.add_argument("--entities", type=int, default=200)
+    metrics.add_argument("--users", type=int, default=150)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--requests", type=int, default=10, help="request burst size")
+    metrics.add_argument("--depth", type=int, default=2)
+    metrics.add_argument("--k", type=int, default=20)
     return parser
 
 
@@ -176,6 +191,45 @@ def cmd_serve(args) -> int:
           f"graph v{health['graph_version']}, preferences v{health['preference_version']}")
     print(f"expansion cache: {cache['hits']} hits / {cache['misses']} misses "
           f"(hit rate {cache['hit_rate']:.0%}, size {cache['size']}/{cache['capacity']})")
+    _print_stage_breakdown(report.stage_seconds)
+    print("\n=== /metrics ===")
+    print(service.metrics_text(), end="")
+    return 0
+
+
+def _print_stage_breakdown(stage_seconds: dict) -> None:
+    if not stage_seconds:
+        return
+    print("\nweekly refresh stage breakdown:")
+    total = sum(stage_seconds.values())
+    for stage, seconds in sorted(stage_seconds.items(), key=lambda kv: -kv[1]):
+        share = seconds / total if total else 0.0
+        print(f"  {stage:<24s} {seconds * 1000:>9.1f} ms  ({share:.0%})")
+
+
+def cmd_metrics(args) -> int:
+    from repro.online import EGLSystem
+    from repro.online.api import EGLService, ExpandRequest, TargetRequest
+
+    world, generator = _make_world(args)
+    events = generator.generate()
+    system = EGLSystem(world)
+    report = system.weekly_refresh(events)
+    system.daily_preference_refresh(events)
+    _print_stage_breakdown(report.stage_seconds)
+
+    service = EGLService(system)
+    popular = sorted(world.entities, key=lambda e: -e.popularity)
+    phrases = [e.name for e in popular[: max(1, min(5, args.requests))]]
+    for i in range(max(1, args.requests)):
+        expand = service.expand(
+            ExpandRequest(phrases=[phrases[i % len(phrases)]], depth=args.depth)
+        )
+        if expand.ok:
+            ids = [e["entity_id"] for e in expand.payload["entities"]][:10]
+            service.target(TargetRequest(entity_ids=ids, k=args.k))
+    print("\n=== /metrics ===")
+    print(service.metrics_text(), end="")
     return 0
 
 
@@ -184,6 +238,7 @@ _COMMANDS = {
     "world": cmd_world,
     "graph-stats": cmd_graph_stats,
     "serve": cmd_serve,
+    "metrics": cmd_metrics,
 }
 
 

@@ -1,0 +1,75 @@
+"""repro.obs — dependency-free observability: metrics, tracing, clocks.
+
+The paper's online stage answers marketer queries "in milliseconds" while
+weekly/daily refreshes republish artifacts underneath it; operating that
+regime needs latency histograms, cache hit rates and per-stage pipeline
+timings. This package is the measurement substrate every layer hooks into:
+
+``metrics``
+    :class:`MetricsRegistry` — labeled counters/gauges/fixed-bucket
+    histograms with p50/p90/p99 summaries, Prometheus text exposition and
+    a JSON snapshot.
+``trace``
+    :class:`Tracer` — nested spans (trace id, parent span, wall time,
+    tags) in a bounded ring buffer, exportable as JSONL.
+``clock``
+    :class:`Clock` / :class:`ManualClock` — the single injectable time
+    source, so tests freeze time deterministically.
+
+One :class:`Observability` bundle (registry + tracer + clock) is created
+per :class:`~repro.online.EGLSystem` and shared by the serving runtime,
+the TRMP pipeline and the API facade. ``Observability.disabled()`` swaps
+in no-op primitives — the baseline the overhead benchmark measures
+against.
+"""
+
+from __future__ import annotations
+
+from repro.obs.clock import Clock, ManualClock
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+
+class Observability:
+    """One system's observability bundle: metrics + tracer + clock.
+
+    Components share the clock, so freezing it (``ManualClock``) freezes
+    every timestamp, latency sample and span duration at once.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        clock: Clock | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock or Clock()
+        self.metrics = metrics or MetricsRegistry(enabled=enabled)
+        self.tracer = tracer or Tracer(clock=self.clock, enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """No-op bundle: every metric/span call is a cheap do-nothing."""
+        return cls(enabled=False)
+
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Span",
+    "Tracer",
+    "Observability",
+]

@@ -1,0 +1,347 @@
+"""Labeled metrics: counters, gauges, fixed-bucket histograms, exposition.
+
+A :class:`MetricsRegistry` is the system's single metric namespace. Metric
+identity follows the Prometheus model: a *family* is a name plus a type
+(and, for histograms, a bucket layout); a *series* is a family plus one
+concrete label set. Asking for the same ``(name, labels)`` twice returns
+the same object, so increments aggregate; different label values are
+independent series under one family.
+
+Two read-out formats exist:
+
+* :meth:`MetricsRegistry.render_prometheus` — the ``/metrics`` text
+  exposition (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket``
+  lines with ``le`` bounds, ``_sum`` / ``_count``);
+* :meth:`MetricsRegistry.snapshot` — a JSON-safe dict with histogram
+  summaries (count, sum, min/max, p50/p90/p99) for health endpoints.
+
+Hot-path cost matters (the serving read path observes a histogram per
+request): callers pre-bind series handles once and call ``observe`` /
+``inc`` on them, which is a bucket bisect plus a few float adds. Metrics
+whose source already keeps its own counters (e.g. the expansion cache) are
+exported through *collectors* — callbacks run at read-out time that copy
+the source's totals into registry series, costing nothing per operation.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Callable
+
+from repro.errors import ConfigError
+
+#: Default histogram upper bounds (seconds) — tuned for a read path that
+#: answers in microseconds (cache hits) to seconds (offline stages).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_PERCENTILES = (0.5, 0.9, 0.99)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str | None = None) -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+    if extra is not None:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing series (requests served, swaps performed)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError("counters only go up; use a gauge")
+        self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total — for read-through collectors only,
+        where the authoritative count lives in the instrumented object."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time series (active artifact version, cache size)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket latency distribution with percentile summaries.
+
+    Bucket bounds are *inclusive upper* bounds (Prometheus ``le``
+    semantics): an observation equal to a bound lands in that bound's
+    bucket; anything above the last bound lands in the implicit ``+Inf``
+    bucket. Percentiles interpolate linearly inside the chosen bucket and
+    are clamped to the observed ``[min, max]``, so a single-sample
+    distribution reports that sample at every quantile.
+    """
+
+    __slots__ = ("_bounds", "_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigError("histogram buckets must be a non-empty ascending sequence")
+        self._bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * (len(self._bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (``0 < q <= 1``); ``None`` when empty."""
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0 if self.min >= 0 else self.min
+        for i, upper in enumerate(self._bounds):
+            bucket = self._counts[i]
+            if bucket and cumulative + bucket >= target:
+                estimate = lower + (upper - lower) * (target - cumulative) / bucket
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket
+            lower = upper
+        return self.max  # target falls in the +Inf bucket
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        pairs = []
+        cumulative = 0
+        for bound, count in zip(self._bounds, self._counts):
+            cumulative += count
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    def summary(self) -> dict:
+        """JSON-safe digest for snapshots and health endpoints."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p90": None, "p99": None}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count,
+            **{f"p{int(q * 100)}": self.percentile(q) for q in _PERCENTILES},
+        }
+
+
+class _Noop:
+    """Shared do-nothing metric for disabled registries (zero hot-path cost)."""
+
+    def inc(self, amount: float = 1.0) -> None: ...
+    def dec(self, amount: float = 1.0) -> None: ...
+    def set(self, value: float) -> None: ...
+    def set_total(self, value: float) -> None: ...
+    def observe(self, value: float) -> None: ...
+    def percentile(self, q: float) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {"count": 0}
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NOOP = _Noop()
+
+
+class _Family:
+    """One metric name: its type, help text and every labeled series."""
+
+    __slots__ = ("name", "type", "help", "buckets", "series")
+
+    def __init__(self, name: str, type_: str, help_: str, buckets=None) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.buckets = buckets
+        self.series: dict[tuple[tuple[str, str], ...], object] = {}
+
+
+class MetricsRegistry:
+    """The system's metric namespace; one per :class:`~repro.obs.Observability`."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Series access (pre-bind the result on hot paths)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._series(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._series(name, "gauge", help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        buckets = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        family = self._family(name, "histogram", help, buckets)
+        if family is None:
+            return _NOOP
+        if family.buckets != buckets:
+            raise ConfigError(f"histogram {name!r} already registered with other buckets")
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = Histogram(buckets)
+        return series
+
+    def _series(self, name, type_, help_, labels, factory):
+        family = self._family(name, type_, help_)
+        if family is None:
+            return _NOOP
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = family.series[key] = factory()
+        return series
+
+    def _family(self, name: str, type_: str, help_: str, buckets=None) -> _Family | None:
+        if not self.enabled:
+            return None
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(name, type_, help_, buckets)
+        elif family.type != type_:
+            raise ConfigError(
+                f"metric {name!r} is a {family.type}, cannot re-register as {type_}"
+            )
+        if help_ and not family.help:
+            family.help = help_
+        return family
+
+    # ------------------------------------------------------------------
+    # Collectors (read-through export of externally-counted state)
+    # ------------------------------------------------------------------
+    def add_collector(self, collect: Callable[[], None]) -> None:
+        """Register a callback run before every render/snapshot; it should
+        copy authoritative totals into registry series via ``set_total`` /
+        ``set``. Keeps instrumented hot paths free of registry calls."""
+        if self.enabled:
+            self._collectors.append(collect)
+
+    def _run_collectors(self) -> None:
+        for collect in self._collectors:
+            collect()
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` text exposition (Prometheus text format 0.0.4)."""
+        if not self.enabled:
+            return ""
+        self._run_collectors()
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.type}")
+            for key in sorted(family.series):
+                series = family.series[key]
+                if family.type == "histogram":
+                    for bound, cumulative in series.cumulative_buckets():
+                        le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                        labeled = _format_labels(key, f'le="{le}"')
+                        lines.append(f"{name}_bucket{labeled} {cumulative}")
+                    lines.append(f"{name}_sum{_format_labels(key)} {_format_value(series.sum)}")
+                    lines.append(f"{name}_count{_format_labels(key)} {series.count}")
+                else:
+                    lines.append(f"{name}{_format_labels(key)} {_format_value(series.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: scalar series values, histogram summaries."""
+        if not self.enabled:
+            return {"enabled": False}
+        self._run_collectors()
+        out: dict = {"enabled": True, "counters": {}, "gauges": {}, "histograms": {}}
+        for name, family in sorted(self._families.items()):
+            section = out[family.type + "s"]
+            section[name] = [
+                {
+                    "labels": dict(key),
+                    **(
+                        series.summary()
+                        if family.type == "histogram"
+                        else {"value": series.value}
+                    ),
+                }
+                for key, series in sorted(family.series.items())
+            ]
+        return out
+
+    def get_value(self, name: str, **labels: str) -> float | None:
+        """Test/debug convenience: current value of one scalar series."""
+        self._run_collectors()
+        family = self._families.get(name)
+        if family is None:
+            return None
+        series = family.series.get(_label_key(labels))
+        return None if series is None else series.value

@@ -1,0 +1,198 @@
+"""Request tracing: nested spans, a bounded ring buffer, JSONL export.
+
+A :class:`Tracer` hands out spans through a context manager. Spans nest
+lexically: the innermost open span is the parent of the next one opened,
+and a span opened with no parent starts a new trace. Finished spans land
+in a fixed-capacity ring buffer (old traces age out — this is a serving
+process, not a log store) and can be dumped as JSON-lines for offline
+inspection.
+
+Ids are small deterministic integers (``trace_id=1``, ``span_id=1``), not
+UUIDs: the tracer is per-process and per-:class:`~repro.obs.Observability`
+instance, deterministic ids make trace assertions in tests exact, and
+integer ids keep span creation off the allocation-heavy path (spans ride
+every API request).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.obs.clock import Clock
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    A span is its own context manager (``with tracer.span(...) as span:``)
+    rather than being wrapped in one — spans ride every API request, and a
+    second per-span allocation is measurable on the warm path.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start_time",
+        "duration_ms", "tags", "status", "_start_perf", "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        start_time: float,
+        start_perf: float,
+        tags: dict,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_time = start_time
+        self.duration_ms = 0.0
+        self.tags = tags or None
+        self.status = "ok"
+        self._start_perf = start_perf
+
+    def tag(self, **tags) -> None:
+        """Attach/overwrite tags while the span is open."""
+        if self.tags is None:
+            self.tags = tags
+        else:
+            self.tags.update(tags)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        tracer._stack.pop()
+        if exc_type is not None:
+            self.status = "error"
+        self.duration_ms = (tracer._perf() - self._start_perf) * 1000
+        tracer._finished.append(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "tags": self.tags or {},
+        }
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def tag(self, **tags) -> None: ...
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _NoopSpanContext(_NoopSpan):
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopSpanContext()
+
+
+class Tracer:
+    """Produces nested spans and keeps the most recent finished ones."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        clock: Clock | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock or Clock()
+        self._perf = self._clock.perf  # bound once: two calls per span
+        # Wall time is derived as offset + perf so span creation needs a
+        # single clock read. Exact for ManualClock (both scales advance
+        # together); for the real clock it ignores wall adjustments (NTP)
+        # after tracer creation, which is fine for span timestamps.
+        self._wall_offset = self._clock.time() - self._clock.perf()
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._next_trace = 1
+        self._next_span = 1
+
+    def span(self, name: str, **tags):
+        """Open a span; nests under the currently open span, if any."""
+        if not self.enabled:
+            return _NOOP_CONTEXT
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+        else:
+            trace_id = parent.trace_id
+        start_perf = self._perf()
+        # Direct slot stores instead of Span.__init__: skips one call frame
+        # on a path that runs for every API request.
+        span = Span.__new__(Span)
+        span._tracer = self
+        span.name = name
+        span.trace_id = trace_id
+        span.span_id = self._next_span
+        span.parent_id = parent.span_id if parent else None
+        span.start_time = self._wall_offset + start_perf
+        span.duration_ms = 0.0
+        # ``None`` instead of an empty dict: untagged spans dominate the
+        # ring buffer, and freeing the empty kwargs dict immediately keeps
+        # the buffer's resident working set small. ``tag()``/``to_dict()``
+        # normalise.
+        span.tags = tags or None
+        span.status = "ok"
+        span._start_perf = start_perf
+        self._next_span += 1
+        stack.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def finished(self) -> list[Span]:
+        """Finished spans, oldest first (children precede their parents)."""
+        return list(self._finished)
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Finished spans grouped by trace id, in finish order."""
+        grouped: dict[int, list[Span]] = {}
+        for span in self._finished:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def to_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self._finished]
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per finished span; returns the span count."""
+        rows = self.to_dicts()
+        Path(path).write_text(
+            "".join(json.dumps(row) + "\n" for row in rows), encoding="utf-8"
+        )
+        return len(rows)
+
+    def clear(self) -> None:
+        self._finished.clear()

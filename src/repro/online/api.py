@@ -11,15 +11,21 @@ Validation happens at this edge: malformed knobs (non-positive ``depth`` /
 rejected with the uniform error envelope before they reach the runtime.
 Every response also reports the artifact versions that served it, so
 clients can correlate results across hot-swaps.
+
+This edge is also where per-request observability lives: every endpoint
+call opens a trace span (``api.<endpoint>``), bumps
+``api_requests_total{endpoint,status}`` and records its latency into
+``api_request_seconds{endpoint}``. All timing goes through the system's
+injectable :class:`~repro.obs.Clock`, so tests can freeze it.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigError, ReproError
+from repro.obs import Observability
 from repro.online.system import EGLSystem
 
 
@@ -44,6 +50,8 @@ class ApiResponse:
 
     ``graph_version``/``preference_version`` identify the active artifacts
     at response time — ``None`` until the matching refresh has run.
+    ``timestamp`` is the service clock's wall time when the envelope was
+    sealed (deterministic under a frozen test clock).
     """
 
     ok: bool
@@ -52,6 +60,7 @@ class ApiResponse:
     error: str | None = None
     graph_version: int | None = None
     preference_version: int | None = None
+    timestamp: float | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -79,17 +88,53 @@ def _validate_target(request: TargetRequest) -> None:
 class EGLService:
     """Request-level wrapper over a prepared :class:`EGLSystem`."""
 
-    def __init__(self, system: EGLSystem) -> None:
+    def __init__(self, system: EGLSystem, obs: Observability | None = None) -> None:
         self.system = system
+        self.obs = obs or getattr(system, "obs", None) or Observability()
+        self._perf = self.obs.clock.perf
+        self._span = self.obs.tracer.span
+        # Per-endpoint metric handles, resolved once: registry lookups sort
+        # labels and hash keys, which is too much for the warm request path.
+        self._endpoint_obs: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
-    def _run(self, fn) -> ApiResponse:
-        start = time.perf_counter()
-        try:
-            payload = fn()
-        except ReproError as error:
-            return self._envelope(start, ok=False, error=str(error))
-        return self._envelope(start, ok=True, payload=payload)
+    def _endpoint_bundle(self, endpoint: str) -> tuple:
+        metrics = self.obs.metrics
+        bundle = (
+            f"api.{endpoint}",
+            metrics.counter(
+                "api_requests_total", help="API requests by endpoint and outcome",
+                endpoint=endpoint, status="ok",
+            ).inc,
+            metrics.counter(
+                "api_requests_total", help="API requests by endpoint and outcome",
+                endpoint=endpoint, status="error",
+            ).inc,
+            metrics.histogram(
+                "api_request_seconds", help="End-to-end API request latency",
+                endpoint=endpoint,
+            ).observe,
+        )
+        self._endpoint_obs[endpoint] = bundle
+        return bundle
+
+    def _run(self, endpoint: str, fn) -> ApiResponse:
+        bundle = self._endpoint_obs.get(endpoint)
+        if bundle is None:
+            bundle = self._endpoint_bundle(endpoint)
+        span_name, inc_ok, inc_error, observe_latency = bundle
+        start = self._perf()
+        with self._span(span_name) as span:
+            try:
+                payload = fn()
+            except ReproError as error:
+                span.tag(status="error")
+                response = self._envelope(start, ok=False, error=str(error))
+            else:
+                response = self._envelope(start, ok=True, payload=payload)
+        (inc_ok if response.ok else inc_error)()
+        observe_latency(response.elapsed_ms / 1000)
+        return response
 
     def _envelope(
         self,
@@ -98,14 +143,16 @@ class EGLService:
         payload: dict | None = None,
         error: str | None = None,
     ) -> ApiResponse:
+        clock = self.obs.clock
         versions = self.system.runtime.versions()
         return ApiResponse(
             ok=ok,
-            elapsed_ms=(time.perf_counter() - start) * 1000,
+            elapsed_ms=(clock.perf() - start) * 1000,
             payload=payload or {},
             error=error,
             graph_version=versions["graph_version"],
             preference_version=versions["preference_version"],
+            timestamp=clock.time(),
         )
 
     # ------------------------------------------------------------------
@@ -132,7 +179,7 @@ class EGLService:
                 ],
             }
 
-        return self._run(run)
+        return self._run("expand", run)
 
     def target(self, request: TargetRequest) -> ApiResponse:
         """Chosen entities → exported audience (Fig. 6 step 3)."""
@@ -150,7 +197,7 @@ class EGLService:
                 ],
             }
 
-        return self._run(run)
+        return self._run("target", run)
 
     def target_batch(self, requests: list[TargetRequest]) -> ApiResponse:
         """Many entity sets → one vectorized scoring pass (bulk export)."""
@@ -181,7 +228,7 @@ class EGLService:
                 ],
             }
 
-        return self._run(run)
+        return self._run("target_batch", run)
 
     def record_feedback(self, seed_entity_id: int, chosen_entity_ids: list[int]) -> ApiResponse:
         """Marketer kept these entities (§II-B feedback loop)."""
@@ -190,24 +237,30 @@ class EGLService:
             self.system.record_choice(seed_entity_id, chosen_entity_ids)
             return {"recorded": len(self.system.feedback)}
 
-        return self._run(run)
+        return self._run("feedback", run)
 
     def health(self) -> ApiResponse:
-        """Liveness + which offline artefacts are loaded."""
+        """Liveness + loaded artefacts + a full metrics snapshot."""
 
         def run() -> dict:
             weeks = len(self.system.pipeline.weekly_runs)
             store_stats = self.system.store.stats() if self.system.store else None
+            runtime_health = self.system.runtime.health()
             return {
                 "weekly_runs": weeks,
-                "preferences_ready": self.system.runtime.health()["preferences_ready"],
+                "preferences_ready": runtime_health["preferences_ready"],
                 "ensemble_ready": self.system.pipeline.ensemble is not None,
                 "store": store_stats,
-                "runtime": self.system.runtime.health(),
+                "runtime": runtime_health,
                 "artifacts": {
                     kind: [r.to_dict() for r in self.system.registry.records(kind)]
                     for kind in ("graph", "preferences")
                 },
+                "metrics": self.obs.metrics.snapshot(),
             }
 
-        return self._run(run)
+        return self._run("health", run)
+
+    def metrics_text(self) -> str:
+        """The ``/metrics``-equivalent Prometheus text exposition."""
+        return self.obs.metrics.render_prometheus()

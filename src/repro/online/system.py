@@ -18,14 +18,14 @@ version-pinned artifacts behind a read-through expansion cache.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.datasets.behavior import BehaviorEvent
 from repro.datasets.world import World
 from repro.errors import NotFittedError
 from repro.graph.storage import GraphStore
+from repro.obs import Observability
 from repro.online.feedback import FeedbackRecorder
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult
@@ -43,6 +43,8 @@ class RefreshReport:
     num_relations: int
     ensemble_trained: bool
     elapsed_seconds: float
+    #: Wall-time breakdown per TRMP stage (incl. ensemble when trained).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class EGLSystem:
@@ -56,9 +58,11 @@ class EGLSystem:
         preference_head_size: int = 200,
         artifact_root: str | Path | None = None,
         cache_size: int = 256,
+        obs: Observability | None = None,
     ) -> None:
         self.world = world
-        self.pipeline = TRMPipeline(world, config)
+        self.obs = obs or Observability()
+        self.pipeline = TRMPipeline(world, config, obs=self.obs)
         self.feedback = FeedbackRecorder()
         self.store = (
             GraphStore(store_path, num_nodes=world.num_entities)
@@ -67,59 +71,80 @@ class EGLSystem:
         )
         self.preference_head_size = preference_head_size
         self.registry = ArtifactRegistry(root=artifact_root)
-        self.runtime = ServingRuntime(cache_size=cache_size)
+        self.runtime = ServingRuntime(cache_size=cache_size, obs=self.obs)
 
     # ------------------------------------------------------------------
     # Offline stage
     # ------------------------------------------------------------------
     def weekly_refresh(self, events: list[BehaviorEvent]) -> RefreshReport:
         """Run TRMP on a weekly data drop and publish the new entity graph."""
-        start = time.perf_counter()
-        feedback_pairs = self.feedback.drain()
-        run: WeeklyRun = self.pipeline.run_week(events, feedback_pairs=feedback_pairs)
+        clock = self.obs.clock
+        start = clock.perf()
+        with self.obs.tracer.span("offline.weekly_refresh"):
+            feedback_pairs = self.feedback.drain()
+            run: WeeklyRun = self.pipeline.run_week(events, feedback_pairs=feedback_pairs)
 
-        if self.store is not None:
-            lo, hi = run.ranked_graph.canonical_pairs()
-            self.store.put_edges(
-                list(zip(lo.tolist(), hi.tolist())),
-                run.ranked_graph.weight.tolist(),
-                run.ranked_graph.relation.tolist(),
+            if self.store is not None:
+                lo, hi = run.ranked_graph.canonical_pairs()
+                self.store.put_edges(
+                    list(zip(lo.tolist(), hi.tolist())),
+                    run.ranked_graph.weight.tolist(),
+                    run.ranked_graph.relation.tolist(),
+                )
+                self.store.commit_version(tag=f"week-{run.week}")
+                record = self.registry.publish_graph(self.store, tag=f"week-{run.week}")
+            else:
+                record = self.registry.publish_graph(
+                    run.ranked_graph, tag=f"week-{run.week}"
+                )
+
+            ensemble_trained = False
+            if len(self.pipeline.weekly_runs) >= 2:
+                self.pipeline.train_ensemble()
+                ensemble_trained = True
+
+            # Hot-swap: build the complete new reasoner, then activate it —
+            # requests already in flight finish on the previous version.
+            reasoner = GraphReasoner(
+                self.registry.open_graph(record.version),
+                self.pipeline.entity_dict,
+                semantic_encoder=self.pipeline.semantic_encoder,
+                e_semantic=self.pipeline.e_semantic,
             )
-            self.store.commit_version(tag=f"week-{run.week}")
-            record = self.registry.publish_graph(self.store, tag=f"week-{run.week}")
-        else:
-            record = self.registry.publish_graph(run.ranked_graph, tag=f"week-{run.week}")
-
-        ensemble_trained = False
-        if len(self.pipeline.weekly_runs) >= 2:
-            self.pipeline.train_ensemble()
-            ensemble_trained = True
-
-        # Hot-swap: build the complete new reasoner, then activate it —
-        # requests already in flight finish on the previous version.
-        reasoner = GraphReasoner(
-            self.registry.open_graph(record.version),
-            self.pipeline.entity_dict,
-            semantic_encoder=self.pipeline.semantic_encoder,
-            e_semantic=self.pipeline.e_semantic,
-        )
-        self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
+            self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
+        elapsed = clock.perf() - start
+        metrics = self.obs.metrics
+        metrics.counter(
+            "offline_refreshes_total", help="Offline refreshes run", job="weekly"
+        ).inc()
+        metrics.histogram(
+            "offline_refresh_seconds", help="Offline refresh wall time", job="weekly"
+        ).observe(elapsed)
         return RefreshReport(
             week=run.week,
             graph_version=record.version,
             num_relations=run.ranked_graph.num_edges,
             ensemble_trained=ensemble_trained,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=elapsed,
+            stage_seconds=self.pipeline.stage_seconds,
         )
 
     def daily_preference_refresh(self, events: list[BehaviorEvent]) -> int:
         """Recompute user embeddings/preferences; returns #covered users."""
-        embeddings = self.pipeline.entity_embeddings()
-        sequences = self.pipeline.extractor.extract_sequences(events)
-        store = PreferenceStore(embeddings, head_size=self.preference_head_size)
-        store.build(sequences, self.world.num_users)
-        record = self.registry.publish_preferences(store)
-        self.runtime.activate_preferences(store, record.version, tag=record.tag)
+        clock = self.obs.clock
+        start = clock.perf()
+        with self.obs.tracer.span("offline.daily_preference_refresh"):
+            embeddings = self.pipeline.entity_embeddings()
+            sequences = self.pipeline.extractor.extract_sequences(events)
+            store = PreferenceStore(embeddings, head_size=self.preference_head_size)
+            store.build(sequences, self.world.num_users)
+            record = self.registry.publish_preferences(store)
+            self.runtime.activate_preferences(store, record.version, tag=record.tag)
+        metrics = self.obs.metrics
+        metrics.counter("offline_refreshes_total", job="daily").inc()
+        metrics.histogram("offline_refresh_seconds", job="daily").observe(
+            clock.perf() - start
+        )
         return int(store.covered_users.sum())
 
     # ------------------------------------------------------------------

@@ -74,6 +74,29 @@ class VersionedLRUCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def register_metrics(self, registry, prefix: str = "serving_expansion_cache") -> None:
+        """Export this cache's counters through a metrics registry.
+
+        Uses the registry's read-through collector hook: the authoritative
+        counts stay on the cache (``get``/``put`` never touch the
+        registry) and are copied into ``<prefix>_*`` series whenever the
+        exposition or a snapshot is rendered — zero hot-path overhead.
+        """
+        hits = registry.counter(prefix + "_hits_total", help="Expansion cache hits")
+        misses = registry.counter(prefix + "_misses_total", help="Expansion cache misses")
+        evictions = registry.counter(
+            prefix + "_evictions_total", help="Expansion cache LRU evictions"
+        )
+        size = registry.gauge(prefix + "_size", help="Cached expansion entries")
+
+        def collect() -> None:
+            hits.set_total(self.hits)
+            misses.set_total(self.misses)
+            evictions.set_total(self.evictions)
+            size.set(len(self._entries))
+
+        registry.add_collector(collect)
+
     def stats(self) -> dict:
         """Operational counters for health endpoints and benchmarks."""
         total = self.hits + self.misses

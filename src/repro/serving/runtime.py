@@ -20,15 +20,19 @@ the offline producers republish artifacts weekly (entity graph) and daily
 from __future__ import annotations
 
 import itertools
-import time
+from collections import deque
 from dataclasses import dataclass, replace
 
 from repro.errors import NotFittedError
+from repro.obs import Observability
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult, UserTargeting
 from repro.preference.store import PreferenceStore
 from repro.serving.cache import VersionedLRUCache
 from repro.tensor import no_grad
+
+#: How many hot-swap events the runtime keeps for post-hoc inspection.
+SWAP_EVENT_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -59,11 +63,36 @@ class ActiveArtifacts:
 class ServingRuntime:
     """Hot-swappable serving layer between offline artifacts and the API."""
 
-    def __init__(self, cache_size: int = 256) -> None:
+    def __init__(self, cache_size: int = 256, obs: Observability | None = None) -> None:
+        self.obs = obs or Observability()
+        self._clock = self.obs.clock
+        self._perf = self._clock.perf  # bound once: called twice per request
         self._active = ActiveArtifacts()
         self._cache = VersionedLRUCache(cache_size)
+        self._cache.register_metrics(self.obs.metrics)
         self._swap_count = 0
-        self._started_at = time.time()
+        self._swap_events: deque[dict] = deque(maxlen=SWAP_EVENT_CAPACITY)
+        self._started_at = self._clock.time()
+        metrics = self.obs.metrics
+        self._graph_version_gauge = metrics.gauge(
+            "serving_active_version", help="Active artifact version", kind="graph"
+        )
+        self._pref_version_gauge = metrics.gauge("serving_active_version", kind="preferences")
+        self._graph_swap_counter = metrics.counter(
+            "serving_hot_swaps_total", help="Artifact hot-swaps performed", kind="graph"
+        )
+        self._pref_swap_counter = metrics.counter("serving_hot_swaps_total", kind="preferences")
+        # Bound ``observe`` methods — skips a handle-attribute lookup per
+        # request on the read path.
+        self._observe_expand_miss = metrics.histogram(
+            "serving_expand_seconds",
+            help="k-hop expansion latency on the runtime read path "
+                 "(computed expansions only; cache hits are obs-free)",
+            outcome="computed",
+        ).observe
+        self._observe_target = metrics.histogram(
+            "serving_target_seconds", help="User-targeting scoring latency"
+        ).observe
 
     # ------------------------------------------------------------------
     # Artifact activation (called by the offline producers)
@@ -78,6 +107,7 @@ class ServingRuntime:
         unreachable — version is part of every cache key — this just
         returns the memory).
         """
+        start = self._perf()
         previous = self._active
         self._active = replace(
             previous,
@@ -88,19 +118,51 @@ class ServingRuntime:
         self._swap_count += 1
         if previous.graph_version is not None and previous.graph_version != version:
             self._cache.purge_version(previous.graph_version)
+        self._record_swap("graph", previous.graph_version, version, self._active.graph_tag, start)
+        self._graph_swap_counter.inc()
+        self._graph_version_gauge.set(version)
 
     def activate_preferences(
         self, store: PreferenceStore, version: int, tag: str | None = None
     ) -> None:
         """Hot-swap the daily preference artifact."""
+        start = self._perf()
+        previous = self._active
         self._active = replace(
-            self._active,
+            previous,
             preference_version=version,
             preference_tag=tag or store.version_tag or f"daily-{version}",
             preference_store=store,
             targeting=UserTargeting(store),
         )
         self._swap_count += 1
+        self._record_swap(
+            "preferences", previous.preference_version, version,
+            self._active.preference_tag, start,
+        )
+        self._pref_swap_counter.inc()
+        self._pref_version_gauge.set(version)
+
+    def _record_swap(
+        self,
+        kind: str,
+        old_version: int | None,
+        new_version: int,
+        tag: str | None,
+        start_perf: float,
+    ) -> None:
+        """Append one hot-swap to the event log — version transitions must
+        stay observable after the fact, not just bump a gauge."""
+        self._swap_events.append(
+            {
+                "kind": kind,
+                "old_version": old_version,
+                "new_version": new_version,
+                "tag": tag,
+                "duration_ms": (self._perf() - start_perf) * 1000,
+                "at": self._clock.time(),
+            }
+        )
 
     def acquire(self) -> ActiveArtifacts:
         """Snapshot the active generation — in-flight work stays on it."""
@@ -129,16 +191,29 @@ class ServingRuntime:
         )
         cached = self._cache.get(active.graph_version, key)
         if cached is not None:
+            # The hit path stays obs-free by design: a microsecond-scale
+            # instrument on a microsecond-scale lookup would dominate it.
+            # Hit counts come from the cache's own counters (collected at
+            # readout) and hit latency is inside api_request_seconds.
             return cached
-        with no_grad():
-            view = reasoner.expand(
-                phrases,
-                depth=depth,
-                min_score=min_score,
-                max_neighbors_per_node=max_neighbors_per_node,
-                max_nodes=max_nodes,
-            )
+        start = self._perf()
+        # Only the compute (miss) path gets a span and a histogram sample.
+        with self.obs.tracer.span(
+            "runtime.expand_compute",
+            depth=depth,
+            phrases=len(phrases),
+            graph_version=active.graph_version,
+        ):
+            with no_grad():
+                view = reasoner.expand(
+                    phrases,
+                    depth=depth,
+                    min_score=min_score,
+                    max_neighbors_per_node=max_neighbors_per_node,
+                    max_nodes=max_nodes,
+                )
         self._cache.put(active.graph_version, key, view)
+        self._observe_expand_miss(self._perf() - start)
         return view
 
     def target(
@@ -148,7 +223,11 @@ class ServingRuntime:
         weights: list[float] | None = None,
     ) -> TargetingResult:
         """Top-K users for one entity set (scoring already under no_grad)."""
-        return self.acquire().require_targeting().target(entity_ids, k, weights=weights)
+        start = self._perf()
+        with self.obs.tracer.span("runtime.target", k=k, entities=len(entity_ids)):
+            result = self.acquire().require_targeting().target(entity_ids, k, weights=weights)
+        self._observe_target(self._perf() - start)
+        return result
 
     def target_batch(
         self,
@@ -157,9 +236,13 @@ class ServingRuntime:
         weights: list[list[float] | None] | None = None,
     ) -> list[TargetingResult]:
         """Vectorized scoring of many entity sets in one call."""
-        return self.acquire().require_targeting().target_batch(
-            entity_sets, k, weights=weights
-        )
+        start = self._perf()
+        with self.obs.tracer.span("runtime.target_batch", k=k, sets=len(entity_sets)):
+            results = self.acquire().require_targeting().target_batch(
+                entity_sets, k, weights=weights
+            )
+        self._observe_target(self._perf() - start)
+        return results
 
     def target_for_phrases(
         self,
@@ -196,10 +279,15 @@ class ServingRuntime:
             "graph_ready": active.reasoner is not None,
             "preferences_ready": active.targeting is not None,
             "swap_count": self._swap_count,
-            "uptime_seconds": time.time() - self._started_at,
+            "uptime_seconds": self._clock.time() - self._started_at,
             "cache": self._cache.stats(),
+            "recent_swaps": self.swap_events(),
             **self.versions(),
         }
+
+    def swap_events(self) -> list[dict]:
+        """The retained hot-swap event log, oldest first."""
+        return list(self._swap_events)
 
     @property
     def cache(self) -> VersionedLRUCache:

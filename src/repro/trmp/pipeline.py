@@ -10,6 +10,7 @@ weekly refresh cadence described in §II-B.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.embeddings.semantic import SemanticEncoderConfig, SemanticEntityEncod
 from repro.embeddings.skipgram import SkipGramConfig, SkipGramModel
 from repro.errors import ConfigError, NotFittedError
 from repro.graph.entity_graph import RELATION_RANKED, EntityGraph
+from repro.obs import Observability
 from repro.rng import ensure_rng
 from repro.text.entity_dict import EntityDict
 from repro.text.sequence_extractor import EntitySequenceExtractor
@@ -66,6 +68,9 @@ class WeeklyRun:
     split: LinkPredictionSplit
     alpc: ALPCLinkPredictor
     ranked_graph: EntityGraph
+    #: Wall-time per TRMP stage for this run (ensemble is recorded on the
+    #: pipeline after :meth:`TRMPipeline.train_ensemble`).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def snapshot_embeddings(self) -> np.ndarray:
@@ -92,9 +97,15 @@ class OfflineArtifacts:
 class TRMPipeline:
     """Drives the three TRMP stages over weekly behavior-log drops."""
 
-    def __init__(self, world: World, config: TRMPConfig | None = None) -> None:
+    def __init__(
+        self,
+        world: World,
+        config: TRMPConfig | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.world = world
         self.config = config or TRMPConfig()
+        self.obs = obs or Observability()
         self.entity_dict = EntityDict.from_world(world)
         self.extractor = EntitySequenceExtractor(self.entity_dict)
         self._semantic_encoder: SemanticEntityEncoder | None = None
@@ -102,6 +113,27 @@ class TRMPipeline:
         self.weekly_runs: list[WeeklyRun] = []
         self.ensemble: EnsembleLinkPredictor | None = None
         self.reweighter = DriftAwareReweighter() if self.config.stable_reweighting else None
+        self._stage_seconds: dict[str, float] = {}
+
+    @contextmanager
+    def _stage(self, name: str):
+        """Trace + time one TRMP stage; feeds the weekly stage breakdown
+        and the ``pipeline_stage_seconds`` histogram."""
+        clock = self.obs.clock
+        start = clock.perf()
+        with self.obs.tracer.span(f"pipeline.{name}"):
+            yield
+        elapsed = clock.perf() - start
+        self._stage_seconds[name] = elapsed
+        self.obs.metrics.histogram(
+            "pipeline_stage_seconds", help="Offline TRMP stage wall time",
+            stage=name,
+        ).observe(elapsed)
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Stage → seconds for the most recent refresh (incl. ensemble)."""
+        return dict(self._stage_seconds)
 
     # ------------------------------------------------------------------
     # Static pieces
@@ -109,9 +141,10 @@ class TRMPipeline:
     @property
     def semantic_encoder(self) -> SemanticEntityEncoder:
         if self._semantic_encoder is None:
-            self._semantic_encoder = SemanticEntityEncoder(
-                self.world, self.config.semantic
-            ).pretrain()
+            with self._stage("semantic_pretrain"):
+                self._semantic_encoder = SemanticEntityEncoder(
+                    self.world, self.config.semantic
+                ).pretrain()
         return self._semantic_encoder
 
     @property
@@ -129,20 +162,26 @@ class TRMPipeline:
         Also records per-entity occurrence counts (evidence for the
         candidate stage's tail-entity gating).
         """
-        sequences = self.extractor.corpus_sequences(events)
+        with self._stage("ner_extraction"):
+            sequences = self.extractor.corpus_sequences(events)
         if not sequences:
             raise ConfigError("no entity sequences extracted from the events")
         counts = np.zeros(self.world.num_entities)
         for seq in sequences:
             np.add.at(counts, np.asarray(seq, dtype=np.int64), 1.0)
         self._last_entity_counts = counts
-        model = SkipGramModel(self.world.num_entities, self.config.skipgram)
-        return model.fit(sequences).normalized_vectors()
+        with self._stage("cooccurrence_embedding"):
+            model = SkipGramModel(self.world.num_entities, self.config.skipgram)
+            return model.fit(sequences).normalized_vectors()
 
     def build_candidate(self, e_cooccurrence: np.ndarray) -> CandidateResult:
-        generator = CandidateGenerator(self.config.candidate)
-        counts = getattr(self, "_last_entity_counts", None)
-        return generator.generate(e_cooccurrence, self.e_semantic, cooccurrence_counts=counts)
+        e_semantic = self.e_semantic  # lazy pretrain is its own stage, not this one's
+        with self._stage("candidate_generation"):
+            generator = CandidateGenerator(self.config.candidate)
+            counts = getattr(self, "_last_entity_counts", None)
+            return generator.generate(
+                e_cooccurrence, e_semantic, cooccurrence_counts=counts
+            )
 
     # ------------------------------------------------------------------
     # Stage II
@@ -160,29 +199,32 @@ class TRMPipeline:
         high-confidence supervision.
         """
         cfg = self.config
-        rng = ensure_rng(cfg.seed if seed is None else seed)
-        split = make_link_prediction_split(
-            candidate.graph,
-            test_fraction=cfg.test_fraction,
-            train_negative_ratio=cfg.train_negative_ratio,
-            rng=rng,
-        )
-        if feedback_pairs is not None and len(feedback_pairs):
-            extra = np.asarray(feedback_pairs, dtype=np.int64).reshape(-1, 2)
-            split.train_pos = np.concatenate([split.train_pos, extra])
-        alpc_cfg = ALPCConfig(**{**vars(cfg.alpc)})
-        if seed is not None:
-            alpc_cfg.seed = seed
-        alpc = ALPCLinkPredictor(alpc_cfg)
+        with self._stage("alpc_ranking"):
+            rng = ensure_rng(cfg.seed if seed is None else seed)
+            split = make_link_prediction_split(
+                candidate.graph,
+                test_fraction=cfg.test_fraction,
+                train_negative_ratio=cfg.train_negative_ratio,
+                rng=rng,
+            )
+            if feedback_pairs is not None and len(feedback_pairs):
+                extra = np.asarray(feedback_pairs, dtype=np.int64).reshape(-1, 2)
+                split.train_pos = np.concatenate([split.train_pos, extra])
+            alpc_cfg = ALPCConfig(**{**vars(cfg.alpc)})
+            if seed is not None:
+                alpc_cfg.seed = seed
+            alpc = ALPCLinkPredictor(alpc_cfg)
 
-        pair_weights = None
-        counts = getattr(self, "_last_entity_counts", None)
-        if self.reweighter is not None and counts is not None:
-            self.reweighter.update_reference(counts)
-            pairs, _ = split.train_pairs_and_labels()
-            pair_weights = self.reweighter.pair_weights(pairs, counts)
+            pair_weights = None
+            counts = getattr(self, "_last_entity_counts", None)
+            if self.reweighter is not None and counts is not None:
+                self.reweighter.update_reference(counts)
+                pairs, _ = split.train_pairs_and_labels()
+                pair_weights = self.reweighter.pair_weights(pairs, counts)
 
-        alpc.fit(split, candidate.node_features, self.e_semantic, pair_weights=pair_weights)
+            alpc.fit(
+                split, candidate.node_features, self.e_semantic, pair_weights=pair_weights
+            )
         return alpc, split
 
     def ranked_graph(
@@ -193,6 +235,12 @@ class TRMPipeline:
         Acceptance uses the two-sided adaptive threshold; edge weights are
         the calibrated link probabilities.
         """
+        with self._stage("graph_ranking"):
+            return self._ranked_graph(candidate, alpc)
+
+    def _ranked_graph(
+        self, candidate: CandidateResult, alpc: ALPCLinkPredictor
+    ) -> EntityGraph:
         lo, hi = candidate.graph.canonical_pairs()
         pairs = np.stack([lo, hi], axis=1)
         probabilities = alpc.predict_pairs(pairs)
@@ -225,17 +273,21 @@ class TRMPipeline:
     ) -> WeeklyRun:
         """One full offline refresh on a weekly data drop."""
         week = len(self.weekly_runs)
-        e_co = self.build_cooccurrence(events)
-        candidate = self.build_candidate(e_co)
-        alpc, split = self.train_ranking(
-            candidate, feedback_pairs=feedback_pairs, seed=self.config.seed + week
-        )
+        self._stage_seconds = {}
+        with self.obs.tracer.span("pipeline.run_week", week=week):
+            e_co = self.build_cooccurrence(events)
+            candidate = self.build_candidate(e_co)
+            alpc, split = self.train_ranking(
+                candidate, feedback_pairs=feedback_pairs, seed=self.config.seed + week
+            )
+            ranked = self.ranked_graph(candidate, alpc)
         run = WeeklyRun(
             week=week,
             candidate=candidate,
             split=split,
             alpc=alpc,
-            ranked_graph=self.ranked_graph(candidate, alpc),
+            ranked_graph=ranked,
+            stage_seconds=dict(self._stage_seconds),
         )
         self.weekly_runs.append(run)
         return run
@@ -244,10 +296,11 @@ class TRMPipeline:
         """Stage III: fuse the trailing weekly snapshots (Eq. 6)."""
         if not self.weekly_runs:
             raise NotFittedError("no weekly runs available for the ensemble")
-        window = self.weekly_runs[-self.config.ensemble_window :]
-        snapshots = [run.snapshot_embeddings for run in window]
-        ensemble = EnsembleLinkPredictor(self.config.ensemble)
-        ensemble.fit(snapshots, window[-1].split)
+        with self._stage("ensemble"):
+            window = self.weekly_runs[-self.config.ensemble_window :]
+            snapshots = [run.snapshot_embeddings for run in window]
+            ensemble = EnsembleLinkPredictor(self.config.ensemble)
+            ensemble.fit(snapshots, window[-1].split)
         self.ensemble = ensemble
         return ensemble
 

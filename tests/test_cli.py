@@ -58,3 +58,23 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "offline refresh" in out
         assert "exported 5 users" in out
+
+
+class TestMetricsCommand:
+    def test_prints_exposition_and_stage_breakdown(self, capsys):
+        code = main(
+            ["metrics", "--entities", "60", "--users", "40",
+             "--seed", "3", "--requests", "6", "--k", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weekly refresh stage breakdown:" in out
+        assert "alpc_ranking" in out
+        assert "=== /metrics ===" in out
+        # Non-zero request counters, latency histograms, cache counters,
+        # version gauges and stage timings all appear in the exposition.
+        assert 'api_requests_total{endpoint="expand",status="ok"} 6' in out
+        assert "api_request_seconds_bucket" in out
+        assert "serving_expansion_cache_misses_total" in out
+        assert 'serving_active_version{kind="graph"} 1' in out
+        assert 'pipeline_stage_seconds_count{stage="ner_extraction"} 1' in out

@@ -1,0 +1,186 @@
+"""End-to-end observability: one request sequence, verified signals.
+
+Drives an ``expand`` → ``expand`` → ``target`` sequence through the API
+facade over hand-activated artifacts (no TRMP training) and asserts the
+exact counter deltas, the cache miss-then-hit pair, correctly parented
+trace spans, and the frozen-clock timestamps the injectable clock enables.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import EntityGraph
+from repro.obs import ManualClock, Observability
+from repro.online import EGLSystem
+from repro.online.api import EGLService, ExpandRequest, TargetRequest
+from repro.online.reasoning import GraphReasoner
+from repro.preference.store import PreferenceStore
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+@pytest.fixture()
+def frozen_service(world):
+    """EGLService on a ManualClock with hand-activated artifacts."""
+    obs = Observability(clock=ManualClock(start=5_000.0))
+    system = EGLSystem(world, obs=obs)
+    graph = EntityGraph.from_edge_list(
+        world.num_entities, [(0, 1), (1, 2)], [0.9, 0.8], [0, 0]
+    )
+    reasoner = GraphReasoner(graph, system.pipeline.entity_dict)
+    system.runtime.activate_graph(reasoner, version=1, tag="week-0")
+    rng = np.random.default_rng(0)
+    embeddings = rng.normal(size=(world.num_entities, 6))
+    sequences = {
+        u: UserEntitySequence(u, list(rng.integers(0, world.num_entities, size=6)))
+        for u in range(30)
+    }
+    prefs = PreferenceStore(embeddings, head_size=16).build(sequences, world.num_users)
+    system.runtime.activate_preferences(prefs, version=1, tag="daily-1")
+    obs.tracer.clear()  # only request traces from here on
+    return EGLService(system)
+
+
+def run_sequence(service, world):
+    phrase = world.entities[0].name
+    cold = service.expand(ExpandRequest(phrases=[phrase], depth=2))
+    warm = service.expand(ExpandRequest(phrases=[phrase], depth=2))
+    ids = [e["entity_id"] for e in cold.payload["entities"]]
+    target = service.target(TargetRequest(entity_ids=ids, k=5))
+    return cold, warm, target
+
+
+class TestCounterDeltas:
+    def test_request_counters_and_cache_pair(self, frozen_service, world):
+        metrics = frozen_service.obs.metrics
+        cold, warm, target = run_sequence(frozen_service, world)
+        assert cold.ok and warm.ok and target.ok
+
+        assert metrics.get_value("api_requests_total", endpoint="expand", status="ok") == 2
+        assert metrics.get_value("api_requests_total", endpoint="target", status="ok") == 1
+        assert metrics.get_value("api_requests_total", endpoint="expand", status="error") == 0
+
+        # The identical second expansion is the hit of a miss-then-hit pair.
+        assert metrics.get_value("serving_expansion_cache_misses_total") == 1
+        assert metrics.get_value("serving_expansion_cache_hits_total") == 1
+        assert metrics.get_value("serving_expansion_cache_size") == 1
+
+    def test_error_requests_counted_separately(self, frozen_service, world):
+        metrics = frozen_service.obs.metrics
+        response = frozen_service.expand(
+            ExpandRequest(phrases=[world.entities[0].name], depth=-1)
+        )
+        assert not response.ok
+        assert metrics.get_value("api_requests_total", endpoint="expand", status="error") == 1
+        assert metrics.get_value("api_requests_total", endpoint="expand", status="ok") == 0
+
+    def test_latency_histograms(self, frozen_service, world):
+        run_sequence(frozen_service, world)
+        snapshot = frozen_service.obs.metrics.snapshot()
+        expand = {
+            s["labels"]["outcome"]: s
+            for s in snapshot["histograms"]["serving_expand_seconds"]
+        }
+        # Only the computed expansion is sampled: the cache-hit path stays
+        # obs-free (hits are counted by the cache's own collector instead).
+        assert expand["computed"]["count"] == 1
+        assert set(expand) == {"computed"}
+        api = snapshot["histograms"]["api_request_seconds"]
+        by_endpoint = {s["labels"]["endpoint"]: s for s in api}
+        assert by_endpoint["expand"]["count"] == 2
+        assert by_endpoint["target"]["count"] == 1
+        assert by_endpoint["expand"]["p50"] is not None
+        assert by_endpoint["expand"]["p99"] is not None
+
+    def test_active_version_gauges(self, frozen_service):
+        metrics = frozen_service.obs.metrics
+        assert metrics.get_value("serving_active_version", kind="graph") == 1
+        assert metrics.get_value("serving_active_version", kind="preferences") == 1
+        assert metrics.get_value("serving_hot_swaps_total", kind="graph") == 1
+
+
+class TestTraceParenting:
+    def test_cold_expand_trace_nests_compute_under_request(self, frozen_service, world):
+        cold, warm, target = run_sequence(frozen_service, world)
+        traces = frozen_service.obs.tracer.traces()
+        assert len(traces) == 3  # one trace per request
+
+        for spans in traces.values():
+            roots = [s for s in spans if s.parent_id is None]
+            assert len(roots) == 1  # every request is exactly one trace
+
+        # The *cold* expand computed: its trace holds the compute child.
+        cold_spans = next(
+            spans for spans in traces.values()
+            if any(s.name == "runtime.expand_compute" for s in spans)
+        )
+        compute = [s for s in cold_spans if s.name == "runtime.expand_compute"]
+        assert len(compute) == 1
+        root = next(s for s in cold_spans if s.parent_id is None)
+        assert root.name == "api.expand"
+        assert compute[0].parent_id == root.span_id
+        assert compute[0].trace_id == root.trace_id
+
+        target_spans = next(
+            spans for spans in traces.values()
+            if any(s.name == "api.target" for s in spans)
+        )
+        child = next(s for s in target_spans if s.name == "runtime.target")
+        assert child.parent_id == next(
+            s for s in target_spans if s.parent_id is None
+        ).span_id
+
+    def test_warm_expand_trace_has_no_compute_span(self, frozen_service, world):
+        run_sequence(frozen_service, world)
+        traces = frozen_service.obs.tracer.traces()
+        expand_traces = [
+            spans for spans in traces.values()
+            if any(s.name == "api.expand" for s in spans)
+        ]
+        assert len(expand_traces) == 2
+        compute_counts = sorted(
+            sum(1 for s in spans if s.name == "runtime.expand_compute")
+            for spans in expand_traces
+        )
+        assert compute_counts == [0, 1]  # warm hit never recomputes
+
+
+class TestFrozenClock:
+    def test_elapsed_and_timestamp_are_deterministic(self, frozen_service, world):
+        response = frozen_service.expand(
+            ExpandRequest(phrases=[world.entities[0].name], depth=2)
+        )
+        assert response.elapsed_ms == 0.0  # the clock never moved
+        assert response.timestamp == 5_000.0
+
+    def test_advancing_the_clock_is_observed(self, frozen_service, world):
+        clock = frozen_service.obs.clock
+        clock.advance(1.5)
+        response = frozen_service.expand(
+            ExpandRequest(phrases=[world.entities[0].name], depth=2)
+        )
+        assert response.timestamp == 5_001.5
+
+
+class TestHealthEmbedsMetrics:
+    def test_health_payload_has_snapshot_and_swaps(self, frozen_service, world):
+        run_sequence(frozen_service, world)
+        response = frozen_service.health()
+        assert response.ok
+        payload = response.payload
+        json.dumps(payload)  # still fully serialisable
+        metrics = payload["metrics"]
+        assert metrics["enabled"]
+        assert "api_requests_total" in metrics["counters"]
+        assert "serving_expand_seconds" in metrics["histograms"]
+        swaps = payload["runtime"]["recent_swaps"]
+        assert [e["kind"] for e in swaps] == ["graph", "preferences"]
+        assert swaps[0]["old_version"] is None and swaps[0]["new_version"] == 1
+
+    def test_metrics_text_exposition(self, frozen_service, world):
+        run_sequence(frozen_service, world)
+        text = frozen_service.metrics_text()
+        assert 'api_requests_total{endpoint="expand",status="ok"} 2' in text
+        assert "serving_expansion_cache_hits_total 1" in text
+        assert 'serving_active_version{kind="graph"} 1' in text

@@ -1,0 +1,118 @@
+"""Tracer span nesting, ring buffer, JSONL export; injectable clocks."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import ManualClock, Observability, Tracer
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock(start=1_000.0)
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(capacity=16, clock=clock)
+
+
+class TestClock:
+    def test_manual_clock_only_moves_on_advance(self, clock):
+        assert clock.time() == 1_000.0
+        assert clock.perf() == 0.0
+        clock.advance(2.5)
+        assert clock.time() == 1_002.5
+        assert clock.perf() == 2.5
+
+    def test_cannot_move_backwards(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestSpanNesting:
+    def test_nested_spans_share_trace_and_parent_correctly(self, tracer, clock):
+        with tracer.span("outer", depth=2) as outer:
+            clock.advance(0.1)
+            with tracer.span("inner") as inner:
+                clock.advance(0.05)
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration_ms == pytest.approx(50)
+        assert outer.duration_ms == pytest.approx(150)
+        assert outer.tags == {"depth": 2}
+
+    def test_siblings_share_parent_but_not_ids(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_separate_roots_are_separate_traces(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert len(tracer.traces()) == 2
+
+    def test_exception_marks_span_errored(self, tracer):
+        with pytest.raises(ReproError):
+            with tracer.span("boom"):
+                raise ReproError("nope")
+        (span,) = tracer.finished()
+        assert span.status == "error"
+
+    def test_tag_while_open(self, tracer):
+        with tracer.span("op") as span:
+            span.tag(result_size=40)
+        assert tracer.finished()[0].tags["result_size"] == 40
+
+    def test_ring_buffer_ages_out_old_spans(self, clock):
+        tracer = Tracer(capacity=3, clock=clock)
+        for i in range(5):
+            with tracer.span(f"op{i}"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["op2", "op3", "op4"]
+
+
+class TestExport:
+    def test_jsonl_round_trip_preserves_parenting(self, tracer, clock, tmp_path):
+        with tracer.span("root"):
+            clock.advance(0.2)
+            with tracer.span("child", stage="alpc"):
+                clock.advance(0.1)
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["child"]["trace_id"] == by_name["root"]["trace_id"]
+        assert by_name["child"]["tags"] == {"stage": "alpc"}
+        assert by_name["child"]["duration_ms"] == pytest.approx(100)
+        assert by_name["root"]["start_time"] == 1_000.0
+
+    def test_clear_empties_the_buffer(self, tracer):
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestDisabledTracer:
+    def test_disabled_bundle_produces_no_spans(self):
+        obs = Observability.disabled()
+        with obs.tracer.span("op") as span:
+            span.tag(anything=1)  # noop span still accepts tags
+        assert obs.tracer.finished() == []
+        assert obs.metrics.render_prometheus() == ""
+
+    def test_shared_clock_across_bundle(self):
+        clock = ManualClock()
+        obs = Observability(clock=clock)
+        assert obs.tracer._clock is clock
+        assert obs.clock is clock

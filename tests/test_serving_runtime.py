@@ -157,6 +157,37 @@ class TestHotSwap:
         assert len(old.users) == len(new.users) == 5
 
 
+class TestSwapEventLog:
+    def test_events_record_old_to_new_transitions(self, runtime, world, entity_dict):
+        runtime.activate_graph(
+            make_reasoner(world, entity_dict, [(0, 3)], [0.9]), version=2, tag="week-1"
+        )
+        runtime.activate_preferences(build_preferences(world), version=1, tag="daily-1")
+        events = runtime.swap_events()
+        assert [(e["kind"], e["old_version"], e["new_version"]) for e in events] == [
+            ("graph", None, 1),
+            ("graph", 1, 2),
+            ("preferences", None, 1),
+        ]
+        assert events[1]["tag"] == "week-1"
+        assert all(e["duration_ms"] >= 0 for e in events)
+        assert all(e["at"] > 0 for e in events)
+
+    def test_health_exposes_recent_swaps(self, runtime):
+        health = runtime.health()
+        assert len(health["recent_swaps"]) == 1
+        assert health["recent_swaps"][0]["new_version"] == 1
+
+    def test_version_gauges_follow_swaps(self, runtime, world, entity_dict):
+        metrics = runtime.obs.metrics
+        assert metrics.get_value("serving_active_version", kind="graph") == 1
+        runtime.activate_graph(
+            make_reasoner(world, entity_dict, [(0, 3)], [0.9]), version=5
+        )
+        assert metrics.get_value("serving_active_version", kind="graph") == 5
+        assert metrics.get_value("serving_hot_swaps_total", kind="graph") == 2
+
+
 class TestBatchedTargeting:
     def test_batch_matches_sequential(self, runtime, world):
         runtime.activate_preferences(build_preferences(world), version=1)
