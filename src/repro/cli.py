@@ -15,11 +15,16 @@ Commands
     Bring up the layered serving runtime (registry → runtime → cached read
     path → API), replay a burst of marketer requests through the API
     envelope, then print artifact versions, cache statistics and the
-    ``/metrics`` exposition.
+    ``/metrics`` exposition. With ``--port`` it also binds the stdlib
+    telemetry HTTP endpoint (``/metrics``, ``/health``, ``/drift``,
+    ``/alerts``, ``/traces``) and prints its URL; ``--hold SECONDS`` keeps
+    it up for scraping, ``--log-json`` streams structured JSON logs to
+    stdout.
 ``metrics``
     Run a miniature offline + online workload and print the Prometheus
     text exposition — request counters, latency histograms, cache
     hit/miss counts, artifact version gauges and per-stage TRMP timings.
+    ``--json`` prints the machine-readable snapshot instead.
 """
 
 from __future__ import annotations
@@ -66,6 +71,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=20, help="request burst size")
     serve.add_argument("--depth", type=int, default=2)
     serve.add_argument("--k", type=int, default=20)
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind the telemetry HTTP endpoint on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--hold", type=float, default=0.0,
+        help="keep the telemetry endpoint up for SECONDS after the replay",
+    )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="stream structured JSON logs to stdout",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="run a mini workload and print the /metrics exposition"
@@ -76,6 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--requests", type=int, default=10, help="request burst size")
     metrics.add_argument("--depth", type=int, default=2)
     metrics.add_argument("--k", type=int, default=20)
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable snapshot instead of the exposition",
+    )
     return parser
 
 
@@ -156,6 +177,8 @@ def cmd_serve(args) -> int:
     world, generator = _make_world(args)
     events = generator.generate()
     system = EGLSystem(world)
+    if args.log_json:
+        system.obs.logger.attach_stream(sys.stdout)
     print("publishing offline artifacts...")
     report = system.weekly_refresh(events)
     system.daily_preference_refresh(events)
@@ -191,7 +214,34 @@ def cmd_serve(args) -> int:
           f"graph v{health['graph_version']}, preferences v{health['preference_version']}")
     print(f"expansion cache: {cache['hits']} hits / {cache['misses']} misses "
           f"(hit rate {cache['hit_rate']:.0%}, size {cache['size']}/{cache['capacity']})")
+    drift = health["drift"]
+    for kind in ("graph", "preferences"):
+        last = drift[kind]
+        if last is not None:
+            print(f"drift [{kind}]: {last['severity']} "
+                  f"(v{last['old_version']} -> v{last['new_version']})")
     _print_stage_breakdown(report.stage_seconds)
+
+    if args.port is not None:
+        from repro.obs import TelemetryServer
+
+        server = TelemetryServer(
+            service.telemetry_routes(),
+            port=args.port,
+            metrics=system.obs.metrics,
+            logger=system.obs.logger.child("telemetry"),
+        )
+        with server:
+            print(f"\ntelemetry endpoint: {server.url}")
+            for route in server.routes():
+                print(f"  {server.url}{route}")
+            if args.hold > 0:
+                print(f"holding for {args.hold:.0f}s (ctrl-c to stop early)...")
+                try:
+                    time.sleep(args.hold)
+                except KeyboardInterrupt:
+                    pass
+
     print("\n=== /metrics ===")
     print(service.metrics_text(), end="")
     return 0
@@ -216,7 +266,8 @@ def cmd_metrics(args) -> int:
     system = EGLSystem(world)
     report = system.weekly_refresh(events)
     system.daily_preference_refresh(events)
-    _print_stage_breakdown(report.stage_seconds)
+    if not args.json:  # keep --json output pure machine-readable JSON
+        _print_stage_breakdown(report.stage_seconds)
 
     service = EGLService(system)
     popular = sorted(world.entities, key=lambda e: -e.popularity)
@@ -228,6 +279,11 @@ def cmd_metrics(args) -> int:
         if expand.ok:
             ids = [e["entity_id"] for e in expand.payload["entities"]][:10]
             service.target(TargetRequest(entity_ids=ids, k=args.k))
+    if args.json:
+        import json
+
+        print(json.dumps(system.obs.metrics.snapshot(), indent=2, sort_keys=True))
+        return 0
     print("\n=== /metrics ===")
     print(service.metrics_text(), end="")
     return 0

@@ -37,3 +37,9 @@ class ConfigError(ReproError):
 
 class NotFittedError(ReproError):
     """A model/pipeline was used before being trained or built."""
+
+
+class DriftGateError(ReproError):
+    """A hot-swap was rejected because the candidate artifact drifted
+    critically from the active one; serving continues on the old
+    generation."""

@@ -1,9 +1,11 @@
-"""repro.obs — dependency-free observability: metrics, tracing, clocks.
+"""repro.obs — dependency-free observability: metrics, tracing, clocks,
+structured logging, drift detection, SLOs/alerts, telemetry endpoint.
 
 The paper's online stage answers marketer queries "in milliseconds" while
 weekly/daily refreshes republish artifacts underneath it; operating that
 regime needs latency histograms, cache hit rates and per-stage pipeline
-timings. This package is the measurement substrate every layer hooks into:
+timings — and, one level up, signals about *quality*: did the artifact we
+just swapped in drift, are we inside our SLOs, should anyone be paged?
 
 ``metrics``
     :class:`MetricsRegistry` — labeled counters/gauges/fixed-bucket
@@ -15,17 +17,41 @@ timings. This package is the measurement substrate every layer hooks into:
 ``clock``
     :class:`Clock` / :class:`ManualClock` — the single injectable time
     source, so tests freeze time deterministically.
+``logging``
+    :class:`StructuredLogger` — JSON-lines events with trace/span-id
+    correlation injected from the active tracer span.
+``drift``
+    :class:`DriftMonitor` — artifact-to-artifact :class:`DriftReport`
+    (graph churn, PSI/KL score drift, top-K audience overlap) computed at
+    every hot-swap and classified against :class:`DriftConfig` thresholds.
+``slo``
+    :class:`SLOTracker` rolling-window objectives + error-budget burn
+    rate, and the :class:`AlertManager` rule engine with firing/resolved
+    state.
+``server``
+    :class:`TelemetryServer` — a stdlib ``http.server`` endpoint exposing
+    ``/metrics``, ``/health``, ``/drift``, ``/alerts`` and ``/traces``.
 
-One :class:`Observability` bundle (registry + tracer + clock) is created
-per :class:`~repro.online.EGLSystem` and shared by the serving runtime,
-the TRMP pipeline and the API facade. ``Observability.disabled()`` swaps
-in no-op primitives — the baseline the overhead benchmark measures
+One :class:`Observability` bundle (registry + tracer + clock + logger) is
+created per :class:`~repro.online.EGLSystem` and shared by the serving
+runtime, the TRMP pipeline and the API facade. ``Observability.disabled()``
+swaps in no-op primitives — the baseline the overhead benchmark measures
 against.
 """
 
 from __future__ import annotations
 
 from repro.obs.clock import Clock, ManualClock
+from repro.obs.drift import (
+    DriftConfig,
+    DriftMonitor,
+    DriftReport,
+    compare_graphs,
+    compare_preference_stores,
+    distribution_shift,
+    topk_overlap,
+)
+from repro.obs.logging import StructuredLogger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -33,14 +59,25 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.server import TelemetryServer
+from repro.obs.slo import (
+    AlertManager,
+    AlertRule,
+    SLObjective,
+    SLOTracker,
+    default_alert_rules,
+    default_objectives,
+)
 from repro.obs.trace import Span, Tracer
 
 
 class Observability:
-    """One system's observability bundle: metrics + tracer + clock.
+    """One system's observability bundle: metrics + tracer + clock + logger.
 
     Components share the clock, so freezing it (``ManualClock``) freezes
-    every timestamp, latency sample and span duration at once.
+    every timestamp, latency sample, span duration and log record at once.
+    The logger is the family root — components derive scoped loggers via
+    ``obs.logger.child("serving")`` which share one ring buffer/stream.
     """
 
     def __init__(
@@ -48,16 +85,22 @@ class Observability:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         clock: Clock | None = None,
+        logger: StructuredLogger | None = None,
+        log_stream=None,
         enabled: bool = True,
     ) -> None:
         self.enabled = enabled
         self.clock = clock or Clock()
         self.metrics = metrics or MetricsRegistry(enabled=enabled)
         self.tracer = tracer or Tracer(clock=self.clock, enabled=enabled)
+        self.logger = logger or StructuredLogger(
+            "system", clock=self.clock, tracer=self.tracer,
+            stream=log_stream, enabled=enabled,
+        )
 
     @classmethod
     def disabled(cls) -> "Observability":
-        """No-op bundle: every metric/span call is a cheap do-nothing."""
+        """No-op bundle: every metric/span/log call is a cheap do-nothing."""
         return cls(enabled=False)
 
 
@@ -71,5 +114,20 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Span",
     "Tracer",
+    "StructuredLogger",
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftReport",
+    "compare_graphs",
+    "compare_preference_stores",
+    "distribution_shift",
+    "topk_overlap",
+    "SLObjective",
+    "SLOTracker",
+    "AlertManager",
+    "AlertRule",
+    "default_objectives",
+    "default_alert_rules",
+    "TelemetryServer",
     "Observability",
 ]

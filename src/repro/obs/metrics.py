@@ -49,6 +49,12 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    """``# HELP`` escaping per text format 0.0.4: backslash and newline
+    only (quotes are legal in help text, unlike in label values)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: tuple[tuple[str, str], ...], extra: str | None = None) -> str:
     parts = [f'{k}="{_escape(v)}"' for k, v in labels]
     if extra is not None:
@@ -165,11 +171,34 @@ class Histogram:
         pairs.append((math.inf, self.count))
         return pairs
 
+    @staticmethod
+    def merge(histograms: "list[Histogram]") -> "Histogram | None":
+        """Sum several same-bucket histograms into one (for cross-series
+        percentiles, e.g. an all-endpoints latency SLO). ``None`` when the
+        list is empty; mismatched bucket layouts are a config error."""
+        histograms = [h for h in histograms if isinstance(h, Histogram)]
+        if not histograms:
+            return None
+        bounds = histograms[0]._bounds
+        if any(h._bounds != bounds for h in histograms):
+            raise ConfigError("cannot merge histograms with different buckets")
+        merged = Histogram(bounds)
+        for h in histograms:
+            merged._counts = [a + b for a, b in zip(merged._counts, h._counts)]
+            merged.count += h.count
+            merged.sum += h.sum
+            merged.min = min(merged.min, h.min)
+            merged.max = max(merged.max, h.max)
+        return merged
+
     def summary(self) -> dict:
-        """JSON-safe digest for snapshots and health endpoints."""
+        """JSON-safe digest for snapshots and health endpoints.
+
+        An empty histogram reports only ``count``/``sum`` — percentiles of
+        nothing are omitted rather than rendered as a misleading 0/NaN.
+        """
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None,
-                    "mean": None, "p50": None, "p90": None, "p99": None}
+            return {"count": 0, "sum": 0.0}
         return {
             "count": self.count,
             "sum": self.sum,
@@ -301,7 +330,7 @@ class MetricsRegistry:
         for name in sorted(self._families):
             family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.type}")
             for key in sorted(family.series):
                 series = family.series[key]
@@ -336,6 +365,19 @@ class MetricsRegistry:
                 for key, series in sorted(family.series.items())
             ]
         return out
+
+    def series(self, name: str) -> list[tuple[dict[str, str], object]]:
+        """Every labeled series of one family as ``(labels, series)`` pairs.
+
+        The read surface the SLO tracker aggregates over; returns ``[]``
+        for unknown families and on disabled registries. Collectors run
+        first so read-through totals are current.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return []
+        self._run_collectors()
+        return [(dict(key), series) for key, series in sorted(family.series.items())]
 
     def get_value(self, name: str, **labels: str) -> float | None:
         """Test/debug convenience: current value of one scalar series."""

@@ -1,0 +1,170 @@
+"""Dependency-free telemetry HTTP endpoint (stdlib ``http.server``).
+
+A deployment would sit a Prometheus scraper and an on-call dashboard on
+the serving process; this is that surface without any framework: a
+:class:`TelemetryServer` binds a :class:`~http.server.ThreadingHTTPServer`
+on a background thread and answers GETs from a route table of zero-arg
+callables. The server knows nothing about the EGL stack — the API facade
+contributes its routes via ``EGLService.telemetry_routes()``:
+
+* ``/metrics`` — Prometheus text exposition (format 0.0.4);
+* ``/health`` — the full health envelope as JSON;
+* ``/drift``  — persisted drift reports per artifact kind;
+* ``/alerts`` — alert rules, active alerts, transition events;
+* ``/traces`` — recent finished spans as JSON lines.
+
+Routes run on the serving process (scrapes share the GIL with requests),
+so handlers must stay read-only and cheap — everything above renders from
+already-maintained state. ``port=0`` binds an ephemeral port, which keeps
+tests and benchmarks collision-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.errors import ConfigError
+
+#: A route renders to ``(content_type, body)``; body may be str or bytes.
+Route = Callable[[], tuple[str, "str | bytes"]]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json"
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+
+
+class TelemetryServer:
+    """Background-thread HTTP server over a static route table."""
+
+    def __init__(
+        self,
+        routes: dict[str, Route],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics=None,
+        logger=None,
+    ) -> None:
+        if not routes:
+            raise ConfigError("telemetry server needs at least one route")
+        self._routes = {self._normalize(path): fn for path, fn in routes.items()}
+        self._host = host
+        self._requested_port = port
+        self._metrics = metrics
+        self._logger = logger
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise ConfigError(f"telemetry route {path!r} must start with '/'")
+        return path.rstrip("/") or "/"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            server_version = "repro-telemetry/1.0"
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                server._handle(self)
+
+            def log_message(self, *args) -> None:
+                pass  # access logs go through the structured logger instead
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="telemetry-server", daemon=True
+        )
+        self._thread.start()
+        if self._logger is not None:
+            self._logger.info(
+                "telemetry_server_started", url=self.url, routes=self.routes()
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._logger is not None:
+            self._logger.info("telemetry_server_stopped", url=self.url)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def routes(self) -> list[str]:
+        return sorted(self._routes)
+
+    # ------------------------------------------------------------------
+    def _handle(self, handler: BaseHTTPRequestHandler) -> None:
+        path = self._normalize(handler.path.split("?", 1)[0])
+        route = self._routes.get(path)
+        if route is None:
+            body = json.dumps({"error": f"no route {path!r}", "routes": self.routes()})
+            self._respond(handler, 404, JSON_CONTENT_TYPE, body)
+        else:
+            try:
+                content_type, body = route()
+            except Exception as error:  # route bugs must not kill the thread
+                body = json.dumps({"error": f"{type(error).__name__}: {error}"})
+                self._respond(handler, 500, JSON_CONTENT_TYPE, body)
+            else:
+                self._respond(handler, 200, content_type, body)
+
+    def _respond(
+        self, handler: BaseHTTPRequestHandler, status: int, content_type: str, body
+    ) -> None:
+        payload = body.encode("utf-8") if isinstance(body, str) else body
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
+        path = self._normalize(handler.path.split("?", 1)[0])
+        if self._metrics is not None:
+            self._metrics.counter(
+                "telemetry_http_requests_total",
+                help="Telemetry endpoint requests by path and status",
+                path=path, status=str(status),
+            ).inc()
+        if self._logger is not None:
+            self._logger.info("http_request", path=path, status=status)
+
+
+__all__ = [
+    "TelemetryServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "JSON_CONTENT_TYPE",
+    "NDJSON_CONTENT_TYPE",
+]

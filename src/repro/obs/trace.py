@@ -169,6 +169,12 @@ class Tracer:
         stack.append(span)
         return span
 
+    def current_span(self) -> Span | None:
+        """The innermost *open* span, if any — the correlation anchor the
+        structured logger stamps trace/span ids from."""
+        stack = self._stack
+        return stack[-1] if stack else None
+
     # ------------------------------------------------------------------
     # Read-out
     # ------------------------------------------------------------------

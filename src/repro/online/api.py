@@ -21,11 +21,17 @@ injectable :class:`~repro.obs.Clock`, so tests can freeze it.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigError, ReproError
 from repro.obs import Observability
+from repro.obs.server import (
+    JSON_CONTENT_TYPE,
+    NDJSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+)
 from repro.online.system import EGLSystem
 
 
@@ -256,6 +262,10 @@ class EGLService:
                     kind: [r.to_dict() for r in self.system.registry.records(kind)]
                     for kind in ("graph", "preferences")
                 },
+                "alerts": {
+                    "active": self.system.alerts.active(),
+                    "has_critical": self.system.alerts.has_critical(),
+                },
                 "metrics": self.obs.metrics.snapshot(),
             }
 
@@ -264,3 +274,45 @@ class EGLService:
     def metrics_text(self) -> str:
         """The ``/metrics``-equivalent Prometheus text exposition."""
         return self.obs.metrics.render_prometheus()
+
+    # ------------------------------------------------------------------
+    # Quality-monitoring payloads (JSON bodies for the telemetry endpoint)
+    # ------------------------------------------------------------------
+    def drift_payload(self) -> dict:
+        """Persisted drift reports per artifact kind + the live summary."""
+        registry = self.system.registry
+        return {
+            "summary": self.system.runtime.drift_summary(),
+            "reports": {
+                kind: [r.to_dict() for r in registry.drift_reports(kind)]
+                for kind in ("graph", "preferences")
+            },
+        }
+
+    def alerts_payload(self) -> dict:
+        """Alert rules, active alerts and recent transitions + SLO signals."""
+        payload = self.system.alerts.snapshot()
+        payload["signals"] = self.system.quality_signals()
+        return payload
+
+    def telemetry_routes(self) -> dict:
+        """The route table a :class:`~repro.obs.TelemetryServer` serves.
+
+        Every route renders from already-maintained state — scrapes share
+        the process with request serving, so nothing here recomputes
+        artifacts or walks the graph.
+        """
+        return {
+            "/metrics": lambda: (PROMETHEUS_CONTENT_TYPE, self.metrics_text()),
+            "/health": lambda: (
+                JSON_CONTENT_TYPE, json.dumps(self.health().to_dict()),
+            ),
+            "/drift": lambda: (JSON_CONTENT_TYPE, json.dumps(self.drift_payload())),
+            "/alerts": lambda: (JSON_CONTENT_TYPE, json.dumps(self.alerts_payload())),
+            "/traces": lambda: (
+                NDJSON_CONTENT_TYPE,
+                "".join(
+                    json.dumps(row) + "\n" for row in self.obs.tracer.to_dicts()
+                ),
+            ),
+        }

@@ -23,9 +23,18 @@ from pathlib import Path
 
 from repro.datasets.behavior import BehaviorEvent
 from repro.datasets.world import World
-from repro.errors import NotFittedError
+from repro.errors import DriftGateError, NotFittedError
 from repro.graph.storage import GraphStore
-from repro.obs import Observability
+from repro.obs import (
+    AlertManager,
+    DriftConfig,
+    DriftMonitor,
+    Observability,
+    SLOTracker,
+    default_alert_rules,
+    default_objectives,
+)
+from repro.obs.drift import DriftReport
 from repro.online.feedback import FeedbackRecorder
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult
@@ -45,6 +54,9 @@ class RefreshReport:
     elapsed_seconds: float
     #: Wall-time breakdown per TRMP stage (incl. ensemble when trained).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: True when the drift gate rejected the hot-swap: the artifact was
+    #: published to the registry but serving stayed on the old generation.
+    swap_rejected: bool = False
 
 
 class EGLSystem:
@@ -59,6 +71,8 @@ class EGLSystem:
         artifact_root: str | Path | None = None,
         cache_size: int = 256,
         obs: Observability | None = None,
+        drift_config: DriftConfig | None = None,
+        gate_on_critical_drift: bool = False,
     ) -> None:
         self.world = world
         self.obs = obs or Observability()
@@ -71,7 +85,30 @@ class EGLSystem:
         )
         self.preference_head_size = preference_head_size
         self.registry = ArtifactRegistry(root=artifact_root)
-        self.runtime = ServingRuntime(cache_size=cache_size, obs=self.obs)
+        self.drift_monitor = DriftMonitor(
+            config=drift_config,
+            metrics=self.obs.metrics,
+            clock=self.obs.clock,
+            logger=self.obs.logger.child("drift"),
+        )
+        self.runtime = ServingRuntime(
+            cache_size=cache_size,
+            obs=self.obs,
+            drift_monitor=self.drift_monitor,
+            gate_on_critical_drift=gate_on_critical_drift,
+        )
+        # Every drift report — from refresh-driven swaps *and* direct
+        # runtime activations — lands in the registry and the alert engine.
+        self.runtime.on_drift_report = self._on_drift_report
+        self.slo = SLOTracker(
+            default_objectives(), self.obs.metrics, clock=self.obs.clock
+        )
+        self.alerts = AlertManager(
+            default_alert_rules(),
+            clock=self.obs.clock,
+            metrics=self.obs.metrics,
+            logger=self.obs.logger.child("alerts"),
+        )
 
     # ------------------------------------------------------------------
     # Offline stage
@@ -111,7 +148,14 @@ class EGLSystem:
                 semantic_encoder=self.pipeline.semantic_encoder,
                 e_semantic=self.pipeline.e_semantic,
             )
-            self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
+            swap_rejected = False
+            try:
+                self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
+            except DriftGateError:
+                # The artifact stays published (evidence!) but serving keeps
+                # the old generation; the report is already in the registry
+                # and the alert engine via _on_drift_report.
+                swap_rejected = True
         elapsed = clock.perf() - start
         metrics = self.obs.metrics
         metrics.counter(
@@ -127,6 +171,7 @@ class EGLSystem:
             ensemble_trained=ensemble_trained,
             elapsed_seconds=elapsed,
             stage_seconds=self.pipeline.stage_seconds,
+            swap_rejected=swap_rejected,
         )
 
     def daily_preference_refresh(self, events: list[BehaviorEvent]) -> int:
@@ -139,13 +184,54 @@ class EGLSystem:
             store = PreferenceStore(embeddings, head_size=self.preference_head_size)
             store.build(sequences, self.world.num_users)
             record = self.registry.publish_preferences(store)
-            self.runtime.activate_preferences(store, record.version, tag=record.tag)
+            try:
+                self.runtime.activate_preferences(store, record.version, tag=record.tag)
+            except DriftGateError:
+                pass  # published but not activated; report already filed
         metrics = self.obs.metrics
         metrics.counter("offline_refreshes_total", job="daily").inc()
         metrics.histogram("offline_refresh_seconds", job="daily").observe(
             clock.perf() - start
         )
         return int(store.covered_users.sum())
+
+    # ------------------------------------------------------------------
+    # Quality monitoring (drift + SLOs + alerts)
+    # ------------------------------------------------------------------
+    def _on_drift_report(self, report: DriftReport) -> None:
+        """Runtime callback: persist the report and re-evaluate alerts."""
+        self.registry.attach_drift_report(report)
+        self.evaluate_alerts()
+
+    def quality_signals(self) -> dict:
+        """One flat signal map for the alert rules: SLO status + drift.
+
+        Evaluates the SLO rolling windows (appending one sample per counter
+        family) and folds in the latest per-kind drift verdicts under the
+        ``drift_*`` names the default rules reference.
+        """
+        evaluation = self.slo.evaluate()
+        signals = dict(evaluation["signals"])
+        critical = 0.0
+        for kind, psi_key in (("graph", "degree_shift"), ("preferences", "score_shift")):
+            report = self.runtime.last_drift_report(kind)
+            if report is None:
+                continue
+            if report.is_critical:
+                critical = 1.0
+            psi = (report.metrics.get(psi_key) or {}).get("psi")
+            if psi is not None:
+                signals[f"drift_{kind}_psi"] = psi
+        signals["drift_critical"] = critical
+        return signals
+
+    def evaluate_alerts(self) -> list[dict]:
+        """Evaluate every alert rule against the current quality signals.
+
+        Returns the state *transitions* this evaluation produced (rules
+        newly firing or resolving); steady state returns an empty list.
+        """
+        return self.alerts.evaluate(self.quality_signals())
 
     # ------------------------------------------------------------------
     # Online stage (delegates to the serving runtime)

@@ -11,14 +11,22 @@ the record list only ever grows. Two artifact kinds exist today:
   :class:`~repro.graph.EntityGraph` when the system runs storeless;
 * ``preferences`` — a built :class:`~repro.preference.PreferenceStore`,
   serialized to ``.npz`` when the registry has a root directory.
+
+Drift reports ride alongside: :meth:`ArtifactRegistry.attach_drift_report`
+files a :class:`~repro.obs.drift.DriftReport` under the artifact version it
+measured, persisted as ``drift-{kind}-{version:06d}.json`` when the
+registry is rooted, so "what changed when we swapped to v7?" survives a
+process restart.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.obs.drift import DriftReport
 from repro.graph.entity_graph import EntityGraph
 from repro.graph.storage import GraphStore, SnapshotReader
 from repro.preference.store import PreferenceStore
@@ -70,6 +78,9 @@ class ArtifactRegistry:
         }
         self._graph_store: GraphStore | None = None
         self._memory: dict[tuple[str, int], object] = {}
+        self._drift: dict[tuple[str, int], DriftReport] = {}
+        if self.root is not None:
+            self._load_drift_reports()
 
     # ------------------------------------------------------------------
     # Publish (producer side)
@@ -155,6 +166,48 @@ class ArtifactRegistry:
         if record.source == "file":
             return PreferenceStore.load(record.path)
         return self._memory[(KIND_PREFERENCES, record.version)]
+
+    # ------------------------------------------------------------------
+    # Drift reports (filed by the serving runtime at swap time)
+    # ------------------------------------------------------------------
+    def attach_drift_report(self, report: DriftReport) -> None:
+        """File a drift report under the artifact version it measured.
+
+        The report is keyed by the *candidate* (new) version — rejected
+        swaps file reports too, which is exactly when you want the evidence
+        durable. Re-attaching for the same version overwrites (a rejected
+        candidate may be re-measured on retry).
+        """
+        self._require_kind(report.kind)
+        self._drift[(report.kind, report.new_version)] = report
+        if self.root is not None:
+            path = self.root / f"drift-{report.kind}-{report.new_version:06d}.json"
+            path.write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+
+    def drift_report(self, kind: str, version: int) -> DriftReport | None:
+        """The drift report filed for one artifact version, if any."""
+        self._require_kind(kind)
+        return self._drift.get((kind, version))
+
+    def drift_reports(self, kind: str | None = None) -> list[DriftReport]:
+        """All filed drift reports, ordered by (kind, version)."""
+        keys = sorted(k for k in self._drift if kind is None or k[0] == kind)
+        return [self._drift[k] for k in keys]
+
+    def _load_drift_reports(self) -> None:
+        """Rehydrate persisted reports so restarts keep the swap history."""
+        assert self.root is not None
+        for path in sorted(self.root.glob("drift-*-*.json")):
+            try:
+                report = DriftReport.from_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except (ValueError, TypeError) as error:
+                raise StorageError(f"corrupt drift report {path}: {error}") from error
+            self._drift[(report.kind, report.new_version)] = report
 
     # ------------------------------------------------------------------
     # Catalogue

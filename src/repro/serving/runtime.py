@@ -14,7 +14,14 @@ the offline producers republish artifacts weekly (entity graph) and daily
   part of the key, a cached expansion can never be served for a graph that
   did not produce it;
 * every forward pass on the read path runs under
-  :func:`repro.tensor.no_grad`.
+  :func:`repro.tensor.no_grad`;
+* when a :class:`~repro.obs.drift.DriftMonitor` is attached, every
+  activation first measures the candidate against the active artifact and
+  produces a :class:`~repro.obs.drift.DriftReport`; with
+  ``gate_on_critical_drift=True`` a critical report *rejects* the swap
+  (:class:`~repro.errors.DriftGateError`) and serving continues on the old
+  generation — the report is still recorded and forwarded, so the rejection
+  is observable everywhere a successful swap would be.
 """
 
 from __future__ import annotations
@@ -23,8 +30,9 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, replace
 
-from repro.errors import NotFittedError
+from repro.errors import DriftGateError, NotFittedError
 from repro.obs import Observability
+from repro.obs.drift import DriftMonitor, DriftReport
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult, UserTargeting
 from repro.preference.store import PreferenceStore
@@ -63,7 +71,13 @@ class ActiveArtifacts:
 class ServingRuntime:
     """Hot-swappable serving layer between offline artifacts and the API."""
 
-    def __init__(self, cache_size: int = 256, obs: Observability | None = None) -> None:
+    def __init__(
+        self,
+        cache_size: int = 256,
+        obs: Observability | None = None,
+        drift_monitor: DriftMonitor | None = None,
+        gate_on_critical_drift: bool = False,
+    ) -> None:
         self.obs = obs or Observability()
         self._clock = self.obs.clock
         self._perf = self._clock.perf  # bound once: called twice per request
@@ -73,6 +87,13 @@ class ServingRuntime:
         self._swap_count = 0
         self._swap_events: deque[dict] = deque(maxlen=SWAP_EVENT_CAPACITY)
         self._started_at = self._clock.time()
+        self.drift_monitor = drift_monitor
+        self.gate_on_critical_drift = gate_on_critical_drift
+        self._drift_reports: deque[DriftReport] = deque(maxlen=SWAP_EVENT_CAPACITY)
+        #: Optional callback invoked with every DriftReport (accepted or
+        #: rejected); EGLSystem uses it to persist reports in the registry
+        #: and feed the alert engine, including for direct activations.
+        self.on_drift_report = None
         metrics = self.obs.metrics
         self._graph_version_gauge = metrics.gauge(
             "serving_active_version", help="Active artifact version", kind="graph"
@@ -82,6 +103,13 @@ class ServingRuntime:
             "serving_hot_swaps_total", help="Artifact hot-swaps performed", kind="graph"
         )
         self._pref_swap_counter = metrics.counter("serving_hot_swaps_total", kind="preferences")
+        self._graph_reject_counter = metrics.counter(
+            "serving_swap_rejections_total",
+            help="Hot-swaps rejected by the drift gate", kind="graph",
+        )
+        self._pref_reject_counter = metrics.counter(
+            "serving_swap_rejections_total", kind="preferences"
+        )
         # Bound ``observe`` methods — skips a handle-attribute lookup per
         # request on the read path.
         self._observe_expand_miss = metrics.histogram(
@@ -106,9 +134,19 @@ class ServingRuntime:
         expansions of the replaced version are purged (they are already
         unreachable — version is part of every cache key — this just
         returns the memory).
+
+        Raises :class:`~repro.errors.DriftGateError` when the drift gate is
+        enabled and the candidate drifted critically from the active graph;
+        the old generation keeps serving.
         """
         start = self._perf()
         previous = self._active
+        if self.drift_monitor is not None and previous.reasoner is not None:
+            report = self.drift_monitor.graph_report(
+                previous.reasoner.graph, reasoner.graph,
+                previous.graph_version, version,
+            )
+            self._check_gate("graph", report, tag or f"graph-v{version}", start)
         self._active = replace(
             previous,
             graph_version=version,
@@ -125,9 +163,22 @@ class ServingRuntime:
     def activate_preferences(
         self, store: PreferenceStore, version: int, tag: str | None = None
     ) -> None:
-        """Hot-swap the daily preference artifact."""
+        """Hot-swap the daily preference artifact.
+
+        Raises :class:`~repro.errors.DriftGateError` when the drift gate is
+        enabled and the candidate's score distribution drifted critically.
+        """
         start = self._perf()
         previous = self._active
+        if self.drift_monitor is not None and previous.preference_store is not None:
+            report = self.drift_monitor.preference_report(
+                previous.preference_store, store,
+                previous.preference_version, version,
+            )
+            self._check_gate(
+                "preferences", report,
+                tag or store.version_tag or f"daily-{version}", start,
+            )
         self._active = replace(
             previous,
             preference_version=version,
@@ -142,6 +193,42 @@ class ServingRuntime:
         )
         self._pref_swap_counter.inc()
         self._pref_version_gauge.set(version)
+
+    def _check_gate(
+        self, kind: str, report: DriftReport, tag: str | None, start_perf: float
+    ) -> None:
+        """Record the report; reject the swap if the gate says so.
+
+        Runs *before* the atomic assignment, so a rejection leaves the
+        active generation untouched — in-flight and future requests keep
+        being served from the old artifacts.
+        """
+        gated = self.gate_on_critical_drift and report.is_critical
+        report.gated = gated
+        self._drift_reports.append(report)
+        if self.on_drift_report is not None:
+            self.on_drift_report(report)
+        if not gated:
+            return
+        counter = self._graph_reject_counter if kind == "graph" else self._pref_reject_counter
+        counter.inc()
+        self._swap_events.append(
+            {
+                "kind": kind,
+                "old_version": report.old_version,
+                "new_version": report.new_version,
+                "tag": tag,
+                "rejected": True,
+                "severity": report.severity,
+                "reasons": list(report.reasons),
+                "duration_ms": (self._perf() - start_perf) * 1000,
+                "at": self._clock.time(),
+            }
+        )
+        raise DriftGateError(
+            f"{kind} hot-swap v{report.old_version}->v{report.new_version} "
+            f"rejected by drift gate: {', '.join(report.reasons) or report.severity}"
+        )
 
     def _record_swap(
         self,
@@ -282,12 +369,45 @@ class ServingRuntime:
             "uptime_seconds": self._clock.time() - self._started_at,
             "cache": self._cache.stats(),
             "recent_swaps": self.swap_events(),
+            "drift": self.drift_summary(),
             **self.versions(),
         }
 
     def swap_events(self) -> list[dict]:
         """The retained hot-swap event log, oldest first."""
         return list(self._swap_events)
+
+    def drift_reports(self, kind: str | None = None) -> list[DriftReport]:
+        """Retained drift reports, oldest first, optionally by kind."""
+        reports = list(self._drift_reports)
+        if kind is not None:
+            reports = [r for r in reports if r.kind == kind]
+        return reports
+
+    def last_drift_report(self, kind: str) -> DriftReport | None:
+        for report in reversed(self._drift_reports):
+            if report.kind == kind:
+                return report
+        return None
+
+    def drift_summary(self) -> dict:
+        """Per-kind latest drift verdict, embedded in ``health()``."""
+        summary: dict = {
+            "monitored": self.drift_monitor is not None,
+            "gate_on_critical_drift": self.gate_on_critical_drift,
+            "reports": len(self._drift_reports),
+        }
+        for kind in ("graph", "preferences"):
+            last = self.last_drift_report(kind)
+            summary[kind] = None if last is None else {
+                "severity": last.severity,
+                "old_version": last.old_version,
+                "new_version": last.new_version,
+                "gated": last.gated,
+                "reasons": list(last.reasons),
+                "computed_at": last.computed_at,
+            }
+        return summary
 
     @property
     def cache(self) -> VersionedLRUCache:

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -78,3 +80,36 @@ class TestMetricsCommand:
         assert "serving_expansion_cache_misses_total" in out
         assert 'serving_active_version{kind="graph"} 1' in out
         assert 'pipeline_stage_seconds_count{stage="ner_extraction"} 1' in out
+
+    def test_json_flag_prints_pure_machine_readable_snapshot(self, capsys):
+        code = main(
+            ["metrics", "--entities", "60", "--users", "40",
+             "--seed", "3", "--requests", "4", "--k", "5", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out)  # the whole stdout is one JSON document
+        assert snapshot["enabled"] is True
+        requests = snapshot["counters"]["api_requests_total"]
+        assert any(s["labels"].get("endpoint") == "expand" for s in requests)
+        # Satellite behaviour: empty histograms carry no percentile keys.
+        for series_list in snapshot["histograms"].values():
+            for series in series_list:
+                if series["count"] == 0:
+                    assert "p50" not in series
+
+
+class TestServeCommand:
+    def test_port_flag_binds_endpoint_and_prints_routes(self, capsys):
+        code = main(
+            ["serve", "--entities", "60", "--users", "40",
+             "--seed", "3", "--requests", "4", "--k", "5", "--port", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry endpoint: http://127.0.0.1:" in out
+        for route in ("/metrics", "/health", "/drift", "/alerts", "/traces"):
+            assert f"{route}\n" in out
+        # Drift verdicts from the refresh swaps are summarised too.
+        assert "runtime health:" in out
+        assert "=== /metrics ===" in out

@@ -15,11 +15,13 @@ def registry():
 
 
 class TestHistogram:
-    def test_empty_summary(self, registry):
+    def test_empty_summary_omits_percentiles(self, registry):
+        # Zero observations: percentiles are undefined, so they are left
+        # out of the summary entirely rather than reported as null.
         h = registry.histogram("lat")
         summary = h.summary()
-        assert summary["count"] == 0
-        assert summary["p50"] is None and summary["p99"] is None
+        assert summary == {"count": 0, "sum": 0.0}
+        assert "p50" not in summary and "p99" not in summary
         assert h.percentile(0.5) is None
 
     def test_single_sample_reports_itself_at_every_quantile(self, registry):
@@ -72,6 +74,29 @@ class TestHistogram:
         summary = h.summary()
         assert summary["sum"] == pytest.approx(0.6)
         assert summary["mean"] == pytest.approx(0.2)
+
+    def test_merge_sums_same_bucket_histograms(self, registry):
+        a = registry.histogram("lat", buckets=(0.01, 0.1), endpoint="expand")
+        b = registry.histogram("lat", buckets=(0.01, 0.1), endpoint="target")
+        a.observe(0.005)
+        a.observe(0.05)
+        b.observe(0.2)
+        from repro.obs import Histogram
+
+        merged = Histogram.merge([a, b])
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(0.255)
+        assert merged.min == 0.005 and merged.max == 0.2
+        assert merged.cumulative_buckets() == [(0.01, 1), (0.1, 2), (math.inf, 3)]
+
+    def test_merge_empty_list_is_none_and_mismatch_rejected(self, registry):
+        from repro.obs import Histogram
+
+        assert Histogram.merge([]) is None
+        a = registry.histogram("x", buckets=(0.1,))
+        b = registry.histogram("y", buckets=(0.2,))
+        with pytest.raises(ConfigError):
+            Histogram.merge([a, b])
 
     def test_invalid_buckets_rejected(self, registry):
         with pytest.raises(ConfigError):
@@ -138,6 +163,12 @@ class TestExposition:
         text = registry.render_prometheus()
         assert 'phrase="say \\"hi\\"\\n"' in text
 
+    def test_snapshot_omits_percentiles_of_empty_histograms(self, registry):
+        registry.histogram("lat", endpoint="expand")  # series exists, no samples
+        entry = registry.snapshot()["histograms"]["lat"][0]
+        assert entry["count"] == 0 and entry["sum"] == 0.0
+        assert "p50" not in entry and "p90" not in entry and "p99" not in entry
+
     def test_snapshot_is_json_safe(self, registry):
         registry.counter("req", endpoint="expand").inc()
         registry.histogram("lat").observe(0.2)
@@ -156,6 +187,57 @@ class TestExposition:
         assert 'cache_hits_total 9' in registry.render_prometheus()
         source["hits"] = 12
         assert registry.snapshot()["counters"]["cache_hits_total"][0]["value"] == 12
+
+
+class TestPrometheusConformance:
+    """Text-format 0.0.4 edge cases a real scraper would reject."""
+
+    def test_help_escapes_backslash_and_newline(self, registry):
+        registry.counter("req", help="path C:\\tmp\nsecond line").inc()
+        text = registry.render_prometheus()
+        assert "# HELP req path C:\\\\tmp\\nsecond line" in text
+        assert "\nsecond line" not in text.split("# TYPE")[0].replace(
+            "\\nsecond line", ""
+        )  # the raw newline never reaches the HELP line
+
+    def test_help_does_not_escape_quotes(self, registry):
+        # Quotes are legal in HELP text — only label *values* escape them.
+        registry.counter("req", help='say "hi"').inc()
+        assert '# HELP req say "hi"' in registry.render_prometheus()
+
+    def test_label_values_escape_backslash_quote_newline(self, registry):
+        registry.counter("req", phrase='a\\b "c"\nd').inc()
+        text = registry.render_prometheus()
+        assert 'phrase="a\\\\b \\"c\\"\\nd"' in text
+        # No un-escaped newline inside any sample line.
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_histogram_renders_explicit_inf_bucket_last(self, registry):
+        h = registry.histogram("lat", buckets=(0.01,))
+        h.observe(5.0)
+        lines = registry.render_prometheus().splitlines()
+        bucket_lines = [l for l in lines if l.startswith("lat_bucket")]
+        assert bucket_lines[-1] == 'lat_bucket{le="+Inf"} 1'
+        # +Inf is cumulative: it must equal lat_count.
+        assert 'lat_count 1' in lines
+
+    def test_inf_bucket_cumulative_equals_count_with_labels(self, registry):
+        h = registry.histogram("lat", buckets=(0.01, 0.1), endpoint="expand")
+        for v in (0.001, 0.05, 9.0):
+            h.observe(v)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{endpoint="expand",le="+Inf"} 3' in text
+        assert 'lat_count{endpoint="expand"} 3' in text
+
+    def test_series_accessor_returns_label_pairs(self, registry):
+        registry.counter("req", endpoint="a", status="ok").inc(2)
+        registry.counter("req", endpoint="b", status="error").inc()
+        pairs = registry.series("req")
+        assert len(pairs) == 2
+        labels = {tuple(sorted(d.items())) for d, _ in pairs}
+        assert (("endpoint", "a"), ("status", "ok")) in labels
+        assert registry.series("nope") == []
 
 
 class TestDisabledRegistry:

@@ -1,0 +1,109 @@
+"""Telemetry HTTP endpoint: routing, error envelopes, scrape metrics."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry, TelemetryServer
+from repro.obs.server import JSON_CONTENT_TYPE, PROMETHEUS_CONTENT_TYPE
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers["Content-Type"], response.read()
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def server(registry):
+    routes = {
+        "/metrics": lambda: (PROMETHEUS_CONTENT_TYPE, "up 1\n"),
+        "/health": lambda: (JSON_CONTENT_TYPE, json.dumps({"ok": True})),
+        "/boom": lambda: (_ for _ in ()).throw(RuntimeError("route bug")),
+    }
+    with TelemetryServer(routes, metrics=registry) as srv:
+        yield srv
+
+
+class TestRouting:
+    def test_ephemeral_port_bound_and_url(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_known_routes_serve_with_content_type(self, server):
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert body == b"up 1\n"
+        status, ctype, body = _get(server.url + "/health")
+        assert status == 200 and ctype == JSON_CONTENT_TYPE
+        assert json.loads(body) == {"ok": True}
+
+    def test_trailing_slash_and_query_string_normalised(self, server):
+        status, _, body = _get(server.url + "/health/?verbose=1")
+        assert status == 200 and json.loads(body) == {"ok": True}
+
+    def test_unknown_path_is_json_404_listing_routes(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/nope")
+        assert err.value.code == 404
+        payload = json.loads(err.value.read())
+        assert payload["routes"] == ["/boom", "/health", "/metrics"]
+
+    def test_route_exception_is_json_500_not_a_dead_thread(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/boom")
+        assert err.value.code == 500
+        assert "route bug" in json.loads(err.value.read())["error"]
+        # The server survives the failed route and keeps serving.
+        status, _, _ = _get(server.url + "/metrics")
+        assert status == 200
+
+    def test_scrapes_counted_by_path_and_status(self, server, registry):
+        _get(server.url + "/metrics")
+        _get(server.url + "/metrics")
+        try:
+            _get(server.url + "/nope")
+        except urllib.error.HTTPError:
+            pass
+        assert registry.get_value(
+            "telemetry_http_requests_total", path="/metrics", status="200"
+        ) == 2
+        assert registry.get_value(
+            "telemetry_http_requests_total", path="/nope", status="404"
+        ) == 1
+
+
+class TestLifecycle:
+    def test_empty_route_table_rejected(self):
+        with pytest.raises(ConfigError):
+            TelemetryServer({})
+
+    def test_route_must_start_with_slash(self):
+        with pytest.raises(ConfigError):
+            TelemetryServer({"metrics": lambda: ("text/plain", "x")})
+
+    def test_stop_releases_the_port_and_start_is_idempotent(self):
+        server = TelemetryServer({"/x": lambda: ("text/plain", "x")})
+        server.start()
+        server.start()  # second start is a no-op, not a second bind
+        port = server.port
+        server.stop()
+        server.stop()  # double stop is safe
+        # The port is free again: a new server can bind it immediately.
+        reuse = TelemetryServer({"/x": lambda: ("text/plain", "x")}, port=port)
+        with reuse:
+            status, _, _ = _get(reuse.url + "/x")
+            assert status == 200
+
+    def test_bytes_bodies_pass_through(self):
+        with TelemetryServer({"/raw": lambda: ("application/octet-stream", b"\x00\x01")}) as srv:
+            status, _, body = _get(srv.url + "/raw")
+            assert status == 200 and body == b"\x00\x01"

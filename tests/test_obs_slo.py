@@ -1,0 +1,201 @@
+"""SLO rolling windows, error-budget burn rate, and the alert engine."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    AlertManager,
+    AlertRule,
+    ManualClock,
+    MetricsRegistry,
+    SLObjective,
+    SLOTracker,
+    default_alert_rules,
+    default_objectives,
+)
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock(start=10_000.0)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def _tracker(registry, clock, window=3600.0):
+    objectives = [
+        SLObjective(
+            name="avail", kind="availability", target=0.995, window_seconds=window
+        ),
+        SLObjective(name="lat", kind="latency", target=0.25, percentile=0.99),
+    ]
+    return SLOTracker(objectives, registry, clock=clock)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            SLObjective(name="x", kind="throughput", target=1.0)
+
+    def test_availability_target_must_be_fractional(self):
+        with pytest.raises(ConfigError):
+            SLObjective(name="x", kind="availability", target=1.0)
+
+    def test_defaults_are_valid(self):
+        names = [o.name for o in default_objectives()]
+        assert names == ["api-availability", "api-latency-p99"]
+
+
+class TestAvailabilityWindow:
+    def test_no_traffic_reports_none_and_is_met(self, registry, clock):
+        tracker = _tracker(registry, clock)
+        result = tracker.evaluate()
+        avail = result["objectives"][0]
+        assert avail["availability"] is None
+        assert avail["met"]
+        assert "availability" not in result["signals"]
+
+    def test_all_ok_traffic_is_full_availability(self, registry, clock):
+        tracker = _tracker(registry, clock)
+        tracker.evaluate()  # baseline sample at t0
+        registry.counter("api_requests_total", endpoint="e", status="ok").inc(100)
+        clock.advance(60)
+        result = tracker.evaluate()
+        assert result["signals"]["availability"] == 1.0
+        assert result["signals"]["error_budget_burn_rate"] == 0.0
+        assert result["signals"]["window_requests"] == 100
+
+    def test_burn_rate_is_error_rate_over_budget(self, registry, clock):
+        tracker = _tracker(registry, clock)
+        tracker.evaluate()
+        registry.counter("api_requests_total", endpoint="e", status="ok").inc(90)
+        registry.counter("api_requests_total", endpoint="e", status="error").inc(10)
+        clock.advance(60)
+        result = tracker.evaluate()
+        # 10% errors against a 0.5% budget: burning 20x.
+        assert result["signals"]["availability"] == pytest.approx(0.9)
+        assert result["signals"]["error_budget_burn_rate"] == pytest.approx(20.0)
+        assert not result["objectives"][0]["met"]
+
+    def test_old_traffic_ages_out_of_the_window(self, registry, clock):
+        tracker = _tracker(registry, clock, window=100.0)
+        ok = registry.counter("api_requests_total", endpoint="e", status="ok")
+        err = registry.counter("api_requests_total", endpoint="e", status="error")
+        err.inc(50)  # ancient failures
+        tracker.evaluate()
+        clock.advance(200)  # push the failure sample past the window edge
+        tracker.evaluate()
+        ok.inc(10)
+        clock.advance(50)
+        result = tracker.evaluate()
+        # Only the post-edge delta counts: 10 ok, 0 new errors.
+        assert result["signals"]["availability"] == 1.0
+        assert result["signals"]["window_requests"] == 10
+
+    def test_latency_objective_merges_endpoint_series(self, registry, clock):
+        tracker = _tracker(registry, clock)
+        a = registry.histogram("api_request_seconds", endpoint="expand")
+        b = registry.histogram("api_request_seconds", endpoint="target")
+        for _ in range(90):
+            a.observe(0.01)
+        for _ in range(10):
+            b.observe(2.0)  # slow tail lives in the other series
+        result = tracker.evaluate()
+        lat = result["objectives"][1]
+        assert lat["observed_seconds"] > 0.25
+        assert not lat["met"]
+        assert result["signals"]["latency_p99"] == lat["observed_seconds"]
+
+    def test_latency_with_no_histogram_is_met(self, registry, clock):
+        tracker = _tracker(registry, clock)
+        lat = tracker.evaluate()["objectives"][1]
+        assert lat["observed_seconds"] is None and lat["met"]
+
+
+class TestAlertRules:
+    def test_unknown_comparator_rejected(self):
+        with pytest.raises(ConfigError):
+            AlertRule(name="x", signal="s", op="~", threshold=1.0)
+
+    def test_duplicate_rule_name_rejected(self, clock):
+        manager = AlertManager([], clock=clock)
+        manager.add_rule(AlertRule(name="a", signal="s", op=">", threshold=1.0))
+        with pytest.raises(ConfigError):
+            manager.add_rule(AlertRule(name="a", signal="s", op=">", threshold=2.0))
+
+    def test_default_rules_cover_drift_and_burn(self):
+        names = {r.name for r in default_alert_rules()}
+        assert {"error-budget-fast-burn", "critical-drift",
+                "latency-p99-breach"} <= names
+
+
+class TestAlertLifecycle:
+    @pytest.fixture()
+    def manager(self, clock, registry):
+        rules = [
+            AlertRule(name="burn", signal="burn_rate", op=">=", threshold=10.0,
+                      severity="critical"),
+            AlertRule(name="lat", signal="latency_p99", op=">", threshold=0.25),
+        ]
+        return AlertManager(rules, clock=clock, metrics=registry)
+
+    def test_breach_fires_and_recovery_resolves(self, manager, clock):
+        fired = manager.evaluate({"burn_rate": 15.0})
+        assert [e["state"] for e in fired] == ["firing"]
+        assert manager.has_critical()
+        active = manager.active()
+        assert active[0]["rule"] == "burn" and active[0]["since"] == 10_000.0
+
+        clock.advance(60)
+        resolved = manager.evaluate({"burn_rate": 1.0})
+        assert [e["state"] for e in resolved] == ["resolved"]
+        assert manager.active() == []
+        states = [e["state"] for e in manager.events()]
+        assert states == ["firing", "resolved"]
+
+    def test_steady_state_produces_no_transitions(self, manager):
+        manager.evaluate({"burn_rate": 15.0})
+        assert manager.evaluate({"burn_rate": 16.0}) == []  # still firing
+        assert len(manager.events()) == 1
+
+    def test_missing_signal_keeps_previous_state(self, manager):
+        manager.evaluate({"burn_rate": 15.0})
+        assert manager.evaluate({}) == []  # no data is not recovery
+        assert manager.has_critical()
+
+    def test_for_cycles_suppresses_blips(self, clock):
+        manager = AlertManager(
+            [AlertRule(name="flap", signal="s", op=">", threshold=1.0,
+                       for_cycles=3)],
+            clock=clock,
+        )
+        assert manager.evaluate({"s": 5.0}) == []
+        assert manager.evaluate({"s": 5.0}) == []
+        fired = manager.evaluate({"s": 5.0})  # third consecutive breach
+        assert [e["state"] for e in fired] == ["firing"]
+        # A single good sample resets the consecutive-breach counter.
+        manager.evaluate({"s": 0.0})
+        assert manager.evaluate({"s": 5.0}) == []
+
+    def test_transition_metrics_and_gauges(self, manager, registry):
+        manager.evaluate({"burn_rate": 15.0, "latency_p99": 0.5})
+        assert registry.get_value(
+            "alert_transitions_total", rule="burn", state="firing"
+        ) == 1
+        assert registry.get_value("alerts_firing", severity="critical") == 1
+        assert registry.get_value("alerts_firing", severity="warning") == 1
+        manager.evaluate({"burn_rate": 0.0, "latency_p99": 0.1})
+        assert registry.get_value("alerts_firing", severity="critical") == 0
+
+    def test_snapshot_is_json_shaped(self, manager):
+        import json
+
+        manager.evaluate({"burn_rate": 15.0})
+        snapshot = manager.snapshot()
+        json.dumps(snapshot)
+        assert {r["name"] for r in snapshot["rules"]} == {"burn", "lat"}
+        assert snapshot["active"][0]["rule"] == "burn"
+        assert snapshot["events"][0]["state"] == "firing"

@@ -79,6 +79,44 @@ class TestSpanNesting:
                 pass
         assert [s.name for s in tracer.finished()] == ["op2", "op3", "op4"]
 
+    def test_overflow_evicts_oldest_traces_first(self, clock):
+        # Many full traces through a small ring: only the newest survive,
+        # strictly in finish order.
+        tracer = Tracer(capacity=4, clock=clock)
+        for i in range(10):
+            with tracer.span(f"req{i}"):
+                with tracer.span(f"work{i}"):
+                    pass
+        # Each trace finishes child-then-root, so the ring holds the last
+        # two complete traces.
+        names = [s.name for s in tracer.finished()]
+        assert names == ["work8", "req8", "work9", "req9"]
+        assert set(tracer.traces()) == {9, 10}
+
+    def test_overflow_keeps_parent_links_valid_in_export(self, clock, tmp_path):
+        # After heavy eviction, every surviving child's parent_id must
+        # still resolve to a span inside the export (children finish before
+        # parents, so a trace is never split across the eviction boundary
+        # in parent-before-child order).
+        tracer = Tracer(capacity=6, clock=clock)
+        for i in range(20):
+            with tracer.span(f"root{i}"):
+                with tracer.span(f"mid{i}"):
+                    with tracer.span(f"leaf{i}"):
+                        pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 6
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        by_id = {row["span_id"]: row for row in rows}
+        for row in rows:
+            if row["parent_id"] is not None:
+                parent = by_id[row["parent_id"]]  # KeyError = dangling link
+                assert parent["trace_id"] == row["trace_id"]
+        # Exactly the final two complete traces survive, oldest first.
+        assert [r["name"] for r in rows] == [
+            "leaf18", "mid18", "root18", "leaf19", "mid19", "root19",
+        ]
+
 
 class TestExport:
     def test_jsonl_round_trip_preserves_parenting(self, tracer, clock, tmp_path):

@@ -51,6 +51,47 @@ class TestLRU:
             cache.put(1, i, i)
         assert len(cache) == 3
 
+    def test_eviction_counter_exact_under_sustained_full_pressure(self):
+        # Every insert beyond capacity evicts exactly one entry, and
+        # nothing else moves the counter: N puts into a full K-slot cache
+        # must report exactly N - K evictions.
+        cache = VersionedLRUCache(4)
+        for i in range(20):
+            cache.put(1, i, i)
+        stats = cache.stats()
+        assert stats["evictions"] == 16
+        assert stats["size"] == 4
+
+    def test_refresh_of_existing_key_is_not_an_eviction(self):
+        cache = VersionedLRUCache(2)
+        cache.put(1, "a", 1)
+        cache.put(1, "b", 2)
+        for _ in range(5):
+            cache.put(1, "a", "updated")  # in-place refresh, cache stays full
+        assert cache.stats()["evictions"] == 0
+        assert len(cache) == 2
+
+    def test_purge_and_clear_do_not_count_as_evictions(self):
+        cache = VersionedLRUCache(4)
+        cache.put(1, "a", 1)
+        cache.put(2, "b", 2)
+        cache.purge_version(1)
+        cache.clear()
+        assert cache.stats()["evictions"] == 0
+
+    def test_eviction_counter_with_interleaved_hits(self):
+        # Hits reorder recency but never evict; only the overflowing puts do.
+        cache = VersionedLRUCache(2)
+        cache.put(1, "a", 1)
+        cache.put(1, "b", 2)
+        cache.get(1, "a")
+        cache.put(1, "c", 3)  # evicts "b" (LRU), not "a"
+        cache.get(1, "a")
+        cache.put(1, "d", 4)  # evicts "c"
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert cache.get(1, "a") == 1
+
 
 class TestVersionScoping:
     def test_same_key_different_versions_are_distinct(self):
