@@ -25,6 +25,26 @@ Commands
     text exposition — request counters, latency histograms, cache
     hit/miss counts, artifact version gauges and per-stage TRMP timings.
     ``--json`` prints the machine-readable snapshot instead.
+``refresh``
+    Run one checkpointed weekly refresh against ``--artifact-root``.
+    ``--kill-after STAGE`` injects a crash right after that stage
+    checkpoints (exit 3); a second invocation with ``--resume`` picks up
+    from the surviving checkpoints and reports which stages were resumed
+    plus the final artifact digest — byte-identical to an uninterrupted
+    run.
+``rollback``
+    Publish ``--refreshes`` generations, then swap serving back to the
+    previous one — the escape hatch for a bad artifact that slipped past
+    the drift gate. Exit 5 when there is no previous generation.
+
+Exit codes
+----------
+0   success
+2   usage error (bad arguments)
+3   refresh interrupted by an injected crash — resumable with ``--resume``
+4   refresh completed but the hot-swap was rejected (drift gate or open
+    activation breaker); serving stayed on the previous generation
+5   rollback requested but no previous generation exists
 """
 
 from __future__ import annotations
@@ -96,6 +116,39 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--json", action="store_true",
         help="print the machine-readable snapshot instead of the exposition",
+    )
+
+    refresh = sub.add_parser(
+        "refresh", help="run a checkpointed weekly refresh (resumable)"
+    )
+    refresh.add_argument("--entities", type=int, default=200)
+    refresh.add_argument("--users", type=int, default=150)
+    refresh.add_argument("--seed", type=int, default=7)
+    refresh.add_argument(
+        "--artifact-root", default=None,
+        help="registry directory; required for cross-process --resume",
+    )
+    refresh.add_argument(
+        "--resume", action="store_true",
+        help="reuse checkpoints left by an interrupted run",
+    )
+    refresh.add_argument(
+        "--kill-after",
+        choices=["cooccurrence", "candidates", "ranked", "ensemble"],
+        default=None,
+        help="inject a crash right after this stage checkpoints (exit 3)",
+    )
+
+    rollback = sub.add_parser(
+        "rollback", help="swap serving back to the previous artifact generation"
+    )
+    rollback.add_argument("--entities", type=int, default=200)
+    rollback.add_argument("--users", type=int, default=150)
+    rollback.add_argument("--seed", type=int, default=7)
+    rollback.add_argument("--kind", choices=["graph", "preferences"], default="graph")
+    rollback.add_argument(
+        "--refreshes", type=int, default=2,
+        help="generations to publish before rolling back (1 demonstrates exit 5)",
     )
     return parser
 
@@ -212,6 +265,10 @@ def cmd_serve(args) -> int:
     cache = health["cache"]
     print(f"\nruntime health: swaps {health['swap_count']}, "
           f"graph v{health['graph_version']}, preferences v{health['preference_version']}")
+    if health["degraded"]:
+        print(f"  status: DEGRADED ({'; '.join(health['degraded_reasons'])})")
+    else:
+        print("  status: healthy (all circuit breakers closed)")
     print(f"expansion cache: {cache['hits']} hits / {cache['misses']} misses "
           f"(hit rate {cache['hit_rate']:.0%}, size {cache['size']}/{cache['capacity']})")
     drift = health["drift"]
@@ -289,12 +346,85 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_refresh(args) -> int:
+    from repro.online import EGLSystem
+    from repro.resilience import FaultInjector, InjectedCrash
+
+    world, generator = _make_world(args)
+    events = generator.generate()
+    faults = None
+    if args.kill_after is not None:
+        faults = FaultInjector(seed=args.seed)
+        faults.fail_at(f"pipeline.{args.kill_after}", 1, exception=InjectedCrash)
+    system = EGLSystem(world, artifact_root=args.artifact_root, faults=faults)
+
+    if args.resume:
+        runs = system.registry.checkpoints.runs()
+        if runs:
+            print(f"resuming from checkpoints: {', '.join(sorted(runs))}")
+        else:
+            print("no checkpoints found; running from scratch")
+    try:
+        report = system.weekly_refresh(events, resume=args.resume)
+    except InjectedCrash as crash:
+        done = system.registry.checkpoints.completed_stages("weekly-0000")
+        print(f"refresh interrupted: {crash}", file=sys.stderr)
+        print(f"checkpointed stages: {', '.join(done) or '(none)'}", file=sys.stderr)
+        if args.artifact_root:
+            print(f"resume with: repro refresh --resume "
+                  f"--artifact-root {args.artifact_root} --seed {args.seed}",
+                  file=sys.stderr)
+        return 3
+
+    print(f"refresh {report.run_id}: week {report.week}, "
+          f"graph v{report.graph_version}, {report.num_relations} relations")
+    if report.resumed_stages:
+        print(f"  resumed stages: {', '.join(report.resumed_stages)}")
+    print(f"  artifact digest: {report.artifact_digest}")
+    if report.swap_rejected:
+        print(f"  hot-swap rejected: {report.swap_rejected_reason}", file=sys.stderr)
+        print("  serving stays on the previous generation", file=sys.stderr)
+        return 4
+    return 0
+
+
+def cmd_rollback(args) -> int:
+    from repro.errors import NotFittedError
+    from repro.online import EGLSystem
+
+    if args.refreshes < 1:
+        print("error: --refreshes must be a positive integer", file=sys.stderr)
+        return 2
+    world, generator = _make_world(args)
+    system = EGLSystem(world)
+    for _ in range(args.refreshes):
+        events = generator.generate()
+        report = system.weekly_refresh(events)
+        system.daily_preference_refresh(events)
+        print(f"published week {report.week}: graph v{report.graph_version}")
+
+    key = "graph_version" if args.kind == "graph" else "preference_version"
+    before = system.runtime.versions()[key]
+    try:
+        after = system.rollback(args.kind)[key]
+    except NotFittedError as error:
+        print(f"error: nothing to roll back — {error}", file=sys.stderr)
+        return 5
+    print(f"rolled back {args.kind}: v{before} -> v{after}")
+    health = system.runtime.health()
+    print(f"runtime health: degraded={health['degraded']}, "
+          f"rollback_available={health['rollback_available']}")
+    return 0
+
+
 _COMMANDS = {
     "demo": cmd_demo,
     "world": cmd_world,
     "graph-stats": cmd_graph_stats,
     "serve": cmd_serve,
     "metrics": cmd_metrics,
+    "refresh": cmd_refresh,
+    "rollback": cmd_rollback,
 }
 
 

@@ -43,3 +43,23 @@ class DriftGateError(ReproError):
     """A hot-swap was rejected because the candidate artifact drifted
     critically from the active one; serving continues on the old
     generation."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before (or while) it was served; the
+    work was shed rather than finished late."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: the guarded dependency failed repeatedly
+    and calls are rejected fast until the recovery timeout elapses."""
+
+
+class CheckpointError(ReproError):
+    """A refresh checkpoint could not be written, read back, or failed its
+    content-digest validation."""
+
+
+class CorruptArtifactError(StorageError):
+    """A published artifact failed its checksum/shape validation on open;
+    the file is quarantined rather than served."""

@@ -25,7 +25,17 @@ import json
 import math
 from dataclasses import asdict, dataclass, field
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import (
+    CheckpointError,
+    CircuitOpenError,
+    ConfigError,
+    CorruptArtifactError,
+    DeadlineExceededError,
+    DriftGateError,
+    NotFittedError,
+    ReproError,
+    StorageError,
+)
 from repro.obs import Observability
 from repro.obs.server import (
     JSON_CONTENT_TYPE,
@@ -33,6 +43,30 @@ from repro.obs.server import (
     PROMETHEUS_CONTENT_TYPE,
 )
 from repro.online.system import EGLSystem
+from repro.resilience import Deadline
+
+#: Exception class → machine-readable envelope code, most specific first
+#: (``CorruptArtifactError`` subclasses ``StorageError``; ``ReproError``
+#: is the catch-all). Clients branch on ``code``, never on message text.
+ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
+    (ConfigError, "invalid_argument"),
+    (NotFittedError, "not_ready"),
+    (DeadlineExceededError, "deadline_exceeded"),
+    (CircuitOpenError, "circuit_open"),
+    (CorruptArtifactError, "corrupt_artifact"),
+    (CheckpointError, "checkpoint_failed"),
+    (DriftGateError, "drift_gated"),
+    (StorageError, "storage_error"),
+    (ReproError, "internal"),
+)
+
+
+def error_code(error: ReproError) -> str:
+    """Map an exception to its stable envelope code."""
+    for cls, code in ERROR_CODES:
+        if isinstance(error, cls):
+            return code
+    return "internal"
 
 
 @dataclass
@@ -41,6 +75,9 @@ class ExpandRequest:
     depth: int = 2
     min_score: float = 0.0
     max_entities: int = 25
+    #: Per-request budget; the runtime sheds expired work with
+    #: ``deadline_exceeded`` rather than finishing late. ``None`` = no limit.
+    timeout_ms: float | None = None
 
 
 @dataclass
@@ -48,6 +85,7 @@ class TargetRequest:
     entity_ids: list[int]
     k: int = 50
     weights: list[float] | None = None
+    timeout_ms: float | None = None
 
 
 @dataclass
@@ -64,12 +102,22 @@ class ApiResponse:
     elapsed_ms: float
     payload: dict = field(default_factory=dict)
     error: str | None = None
+    #: Stable machine-readable error discriminator (see :data:`ERROR_CODES`);
+    #: ``None`` on success.
+    code: str | None = None
     graph_version: int | None = None
     preference_version: int | None = None
     timestamp: float | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+def _validate_timeout(timeout_ms: float | None) -> None:
+    if timeout_ms is not None and (
+        not math.isfinite(timeout_ms) or timeout_ms <= 0
+    ):
+        raise ConfigError("timeout_ms must be a positive finite number")
 
 
 def _validate_expand(request: ExpandRequest) -> None:
@@ -79,6 +127,7 @@ def _validate_expand(request: ExpandRequest) -> None:
         raise ConfigError("max_entities must be a positive integer")
     if not math.isfinite(request.min_score):
         raise ConfigError("min_score must be finite")
+    _validate_timeout(request.timeout_ms)
 
 
 def _validate_target(request: TargetRequest) -> None:
@@ -89,6 +138,7 @@ def _validate_target(request: TargetRequest) -> None:
             raise ConfigError("weights must align with entity_ids")
         if not all(math.isfinite(float(w)) for w in request.weights):
             raise ConfigError("weights must be finite")
+    _validate_timeout(request.timeout_ms)
 
 
 class EGLService:
@@ -134,8 +184,11 @@ class EGLService:
             try:
                 payload = fn()
             except ReproError as error:
-                span.tag(status="error")
-                response = self._envelope(start, ok=False, error=str(error))
+                code = error_code(error)
+                span.tag(status="error", code=code)
+                response = self._envelope(
+                    start, ok=False, error=str(error), code=code
+                )
             else:
                 response = self._envelope(start, ok=True, payload=payload)
         (inc_ok if response.ok else inc_error)()
@@ -148,6 +201,7 @@ class EGLService:
         ok: bool,
         payload: dict | None = None,
         error: str | None = None,
+        code: str | None = None,
     ) -> ApiResponse:
         clock = self.obs.clock
         versions = self.system.runtime.versions()
@@ -156,10 +210,16 @@ class EGLService:
             elapsed_ms=(clock.perf() - start) * 1000,
             payload=payload or {},
             error=error,
+            code=code,
             graph_version=versions["graph_version"],
             preference_version=versions["preference_version"],
             timestamp=clock.time(),
         )
+
+    def _deadline(self, timeout_ms: float | None) -> Deadline | None:
+        if timeout_ms is None:
+            return None
+        return Deadline.after(timeout_ms / 1000, clock=self.obs.clock)
 
     # ------------------------------------------------------------------
     def expand(self, request: ExpandRequest) -> ApiResponse:
@@ -168,7 +228,10 @@ class EGLService:
         def run() -> dict:
             _validate_expand(request)
             view = self.system.expand(
-                request.phrases, depth=request.depth, min_score=request.min_score
+                request.phrases,
+                depth=request.depth,
+                min_score=request.min_score,
+                deadline=self._deadline(request.timeout_ms),
             )
             return {
                 "seeds": view.seeds,
@@ -193,7 +256,10 @@ class EGLService:
         def run() -> dict:
             _validate_target(request)
             result = self.system.target_users(
-                request.entity_ids, k=request.k, weights=request.weights
+                request.entity_ids,
+                k=request.k,
+                weights=request.weights,
+                deadline=self._deadline(request.timeout_ms),
             )
             return {
                 "entity_ids": result.entity_ids,
@@ -216,10 +282,14 @@ class EGLService:
             ks = {request.k for request in requests}
             if len(ks) != 1:
                 raise ConfigError("batched target requests must share one k")
+            # The batch runs as one pass, so the strictest request budget
+            # bounds the whole batch.
+            timeouts = [r.timeout_ms for r in requests if r.timeout_ms is not None]
             results = self.system.target_users_batch(
                 [request.entity_ids for request in requests],
                 k=ks.pop(),
                 weights=[request.weights for request in requests],
+                deadline=self._deadline(min(timeouts) if timeouts else None),
             )
             return {
                 "results": [
@@ -254,6 +324,8 @@ class EGLService:
             runtime_health = self.system.runtime.health()
             return {
                 "weekly_runs": weeks,
+                "degraded": runtime_health["degraded"],
+                "degraded_reasons": runtime_health["degraded_reasons"],
                 "preferences_ready": runtime_health["preferences_ready"],
                 "ensemble_ready": self.system.pipeline.ensemble is not None,
                 "store": store_stats,

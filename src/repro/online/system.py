@@ -18,12 +18,16 @@ version-pinned artifacts behind a read-through expansion cache.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from repro.datasets.behavior import BehaviorEvent
 from repro.datasets.world import World
-from repro.errors import DriftGateError, NotFittedError
+from repro.errors import CircuitOpenError, DriftGateError, NotFittedError
+from repro.graph.entity_graph import EntityGraph
 from repro.graph.storage import GraphStore
 from repro.obs import (
     AlertManager,
@@ -39,8 +43,20 @@ from repro.online.feedback import FeedbackRecorder
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult
 from repro.preference.store import PreferenceStore
+from repro.resilience import Deadline, FaultInjector, RetryPolicy
 from repro.serving import ArtifactRegistry, ServingRuntime
 from repro.trmp.pipeline import TRMPConfig, TRMPipeline, WeeklyRun
+
+
+def graph_digest(graph: EntityGraph) -> str:
+    """Content digest of a mined graph — the byte-identity proof the
+    chaos suite compares between interrupted-then-resumed and
+    uninterrupted refreshes."""
+    digest = hashlib.sha256()
+    lo, hi = graph.canonical_pairs()
+    for array in (lo, hi, graph.weight, graph.relation):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
 
 
 @dataclass
@@ -54,9 +70,18 @@ class RefreshReport:
     elapsed_seconds: float
     #: Wall-time breakdown per TRMP stage (incl. ensemble when trained).
     stage_seconds: dict[str, float] = field(default_factory=dict)
-    #: True when the drift gate rejected the hot-swap: the artifact was
-    #: published to the registry but serving stayed on the old generation.
+    #: True when the drift gate (or an open activation breaker) rejected
+    #: the hot-swap: the artifact was published to the registry but serving
+    #: stayed on the old generation.
     swap_rejected: bool = False
+    swap_rejected_reason: str | None = None
+    #: Checkpoint run id for this refresh (``weekly-<week>``).
+    run_id: str | None = None
+    #: Stages loaded from checkpoints instead of recomputed (resume path).
+    resumed_stages: list[str] = field(default_factory=list)
+    #: Content digest of the published ranked graph — identical for a
+    #: resumed and an uninterrupted run of the same seeded refresh.
+    artifact_digest: str | None = None
 
 
 class EGLSystem:
@@ -73,10 +98,15 @@ class EGLSystem:
         obs: Observability | None = None,
         drift_config: DriftConfig | None = None,
         gate_on_critical_drift: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.world = world
         self.obs = obs or Observability()
-        self.pipeline = TRMPipeline(world, config, obs=self.obs)
+        self.faults = faults
+        self.retry = retry_policy or RetryPolicy(clock=self.obs.clock)
+        if self.retry.on_retry is None:
+            self.retry.on_retry = self._count_retry
         self.feedback = FeedbackRecorder()
         self.store = (
             GraphStore(store_path, num_nodes=world.num_entities)
@@ -84,7 +114,12 @@ class EGLSystem:
             else None
         )
         self.preference_head_size = preference_head_size
-        self.registry = ArtifactRegistry(root=artifact_root)
+        self.registry = ArtifactRegistry(root=artifact_root, faults=faults)
+        self.pipeline = TRMPipeline(
+            world, config, obs=self.obs,
+            checkpoints=self.registry.checkpoints,
+            retry=self.retry, faults=faults,
+        )
         self.drift_monitor = DriftMonitor(
             config=drift_config,
             metrics=self.obs.metrics,
@@ -96,6 +131,7 @@ class EGLSystem:
             obs=self.obs,
             drift_monitor=self.drift_monitor,
             gate_on_critical_drift=gate_on_critical_drift,
+            faults=faults,
         )
         # Every drift report — from refresh-driven swaps *and* direct
         # runtime activations — lands in the registry and the alert engine.
@@ -113,13 +149,37 @@ class EGLSystem:
     # ------------------------------------------------------------------
     # Offline stage
     # ------------------------------------------------------------------
-    def weekly_refresh(self, events: list[BehaviorEvent]) -> RefreshReport:
-        """Run TRMP on a weekly data drop and publish the new entity graph."""
+    def _count_retry(self, seam: str, attempt: int, error: Exception) -> None:
+        """RetryPolicy hook: every backoff is counted and logged."""
+        self.obs.metrics.counter(
+            "resilience_retries_total",
+            help="Transient-failure retries by seam", seam=seam,
+        ).inc()
+        self.obs.logger.child("resilience").warning(
+            "retry", seam=seam, attempt=attempt, error=str(error)
+        )
+
+    def weekly_refresh(
+        self, events: list[BehaviorEvent], resume: bool = False
+    ) -> RefreshReport:
+        """Run TRMP on a weekly data drop and publish the new entity graph.
+
+        Fault tolerance: every stage checkpoints into the registry under
+        ``weekly-<week>`` as it completes, so ``resume=True`` after a crash
+        recomputes only what the crash interrupted (seeded stages make the
+        result byte-identical — compare ``RefreshReport.artifact_digest``).
+        Registry publishes ride the retry policy; an activation rejected by
+        the drift gate or an open activation breaker leaves the artifact
+        published while serving stays on the last-good generation.
+        """
         clock = self.obs.clock
         start = clock.perf()
         with self.obs.tracer.span("offline.weekly_refresh"):
             feedback_pairs = self.feedback.drain()
-            run: WeeklyRun = self.pipeline.run_week(events, feedback_pairs=feedback_pairs)
+            run_id = f"weekly-{len(self.pipeline.weekly_runs):04d}"
+            run: WeeklyRun = self.pipeline.run_week(
+                events, feedback_pairs=feedback_pairs, run_id=run_id, resume=resume
+            )
 
             if self.store is not None:
                 lo, hi = run.ranked_graph.canonical_pairs()
@@ -129,33 +189,44 @@ class EGLSystem:
                     run.ranked_graph.relation.tolist(),
                 )
                 self.store.commit_version(tag=f"week-{run.week}")
-                record = self.registry.publish_graph(self.store, tag=f"week-{run.week}")
+                record = self.retry.call(
+                    lambda: self.registry.publish_graph(self.store, tag=f"week-{run.week}"),
+                    seam="registry.publish_graph",
+                )
             else:
-                record = self.registry.publish_graph(
-                    run.ranked_graph, tag=f"week-{run.week}"
+                record = self.retry.call(
+                    lambda: self.registry.publish_graph(
+                        run.ranked_graph, tag=f"week-{run.week}"
+                    ),
+                    seam="registry.publish_graph",
                 )
 
             ensemble_trained = False
             if len(self.pipeline.weekly_runs) >= 2:
-                self.pipeline.train_ensemble()
+                self.pipeline.train_ensemble(run_id=run_id, resume=resume)
                 ensemble_trained = True
 
             # Hot-swap: build the complete new reasoner, then activate it —
             # requests already in flight finish on the previous version.
             reasoner = GraphReasoner(
-                self.registry.open_graph(record.version),
+                self.retry.call(
+                    lambda: self.registry.open_graph(record.version),
+                    seam="registry.open_graph",
+                ),
                 self.pipeline.entity_dict,
                 semantic_encoder=self.pipeline.semantic_encoder,
                 e_semantic=self.pipeline.e_semantic,
             )
             swap_rejected = False
+            swap_rejected_reason = None
             try:
                 self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
-            except DriftGateError:
+            except (DriftGateError, CircuitOpenError) as error:
                 # The artifact stays published (evidence!) but serving keeps
-                # the old generation; the report is already in the registry
-                # and the alert engine via _on_drift_report.
+                # the old generation; a drift report is already in the
+                # registry and the alert engine via _on_drift_report.
                 swap_rejected = True
+                swap_rejected_reason = str(error)
         elapsed = clock.perf() - start
         metrics = self.obs.metrics
         metrics.counter(
@@ -172,6 +243,10 @@ class EGLSystem:
             elapsed_seconds=elapsed,
             stage_seconds=self.pipeline.stage_seconds,
             swap_rejected=swap_rejected,
+            swap_rejected_reason=swap_rejected_reason,
+            run_id=run_id,
+            resumed_stages=list(run.resumed_stages),
+            artifact_digest=graph_digest(run.ranked_graph),
         )
 
     def daily_preference_refresh(self, events: list[BehaviorEvent]) -> int:
@@ -183,10 +258,13 @@ class EGLSystem:
             sequences = self.pipeline.extractor.extract_sequences(events)
             store = PreferenceStore(embeddings, head_size=self.preference_head_size)
             store.build(sequences, self.world.num_users)
-            record = self.registry.publish_preferences(store)
+            record = self.retry.call(
+                lambda: self.registry.publish_preferences(store),
+                seam="registry.publish_preferences",
+            )
             try:
                 self.runtime.activate_preferences(store, record.version, tag=record.tag)
-            except DriftGateError:
+            except (DriftGateError, CircuitOpenError):
                 pass  # published but not activated; report already filed
         metrics = self.obs.metrics
         metrics.counter("offline_refreshes_total", job="daily").inc()
@@ -194,6 +272,15 @@ class EGLSystem:
             clock.perf() - start
         )
         return int(store.covered_users.sum())
+
+    def rollback(self, kind: str = "graph") -> dict:
+        """Swap serving back to the previous generation of ``kind``.
+
+        The escape hatch when a bad artifact slipped past the drift gate:
+        one atomic reference swap, no recomputation. Returns the runtime's
+        post-rollback version map.
+        """
+        return self.runtime.rollback(kind)
 
     # ------------------------------------------------------------------
     # Quality monitoring (drift + SLOs + alerts)
@@ -240,9 +327,17 @@ class EGLSystem:
     def reasoner(self) -> GraphReasoner:
         return self.runtime.acquire().require_reasoner()
 
-    def expand(self, phrases: list[str], depth: int = 2, min_score: float = 0.0) -> ExpansionView:
+    def expand(
+        self,
+        phrases: list[str],
+        depth: int = 2,
+        min_score: float = 0.0,
+        deadline: Deadline | None = None,
+    ) -> ExpansionView:
         """Marketer request: show the k-hop subgraph around the phrases."""
-        return self.runtime.expand(phrases, depth=depth, min_score=min_score)
+        return self.runtime.expand(
+            phrases, depth=depth, min_score=min_score, deadline=deadline
+        )
 
     def record_choice(self, seed_entity_id: int, chosen_entity_ids: list[int]) -> None:
         """Marketer kept these entities — high-confidence feedback (§II-B)."""
@@ -253,18 +348,22 @@ class EGLSystem:
         entity_ids: list[int],
         k: int = 50,
         weights: list[float] | None = None,
+        deadline: Deadline | None = None,
     ) -> TargetingResult:
         """Export the top-K users for the chosen entities (Fig. 6 step 3)."""
-        return self.runtime.target(entity_ids, k=k, weights=weights)
+        return self.runtime.target(entity_ids, k=k, weights=weights, deadline=deadline)
 
     def target_users_batch(
         self,
         entity_sets: list[list[int]],
         k: int = 50,
         weights: list[list[float] | None] | None = None,
+        deadline: Deadline | None = None,
     ) -> list[TargetingResult]:
         """Batched export: many entity sets scored in one vectorized pass."""
-        return self.runtime.target_batch(entity_sets, k=k, weights=weights)
+        return self.runtime.target_batch(
+            entity_sets, k=k, weights=weights, deadline=deadline
+        )
 
     def target_users_for_phrases(
         self,
@@ -273,6 +372,7 @@ class EGLSystem:
         k: int = 50,
         min_score: float = 0.0,
         max_entities: int | None = 15,
+        deadline: Deadline | None = None,
     ) -> tuple[ExpansionView, TargetingResult]:
         """The full cold-start flow: phrases → expansion → top-K users.
 
@@ -282,7 +382,12 @@ class EGLSystem:
         whole k-hop frontier.
         """
         return self.runtime.target_for_phrases(
-            phrases, depth=depth, k=k, min_score=min_score, max_entities=max_entities
+            phrases,
+            depth=depth,
+            k=k,
+            min_score=min_score,
+            max_entities=max_entities,
+            deadline=deadline,
         )
 
     @property

@@ -1,0 +1,65 @@
+"""repro.resilience — fault tolerance for the offline/online loop.
+
+The paper's system refreshes artifacts weekly/daily underneath an
+always-on targeting service; this package holds the dependency-free
+primitives that keep both sides alive when infrastructure misbehaves:
+
+``retry``
+    :class:`RetryPolicy` — capped exponential backoff with seeded jitter,
+    sleeping through the injectable clock (deterministic under
+    :class:`~repro.obs.ManualClock`).
+``breaker``
+    :class:`CircuitBreaker` — closed / open / half-open, clock-driven
+    recovery, transition callbacks for metrics.
+``deadline``
+    :class:`Deadline` — absolute per-request budgets propagated through
+    the serving read path; expired work is shed, not finished late.
+``checkpoint``
+    :class:`CheckpointStore` — per-stage refresh checkpoints under a run
+    id, digest-validated, atomic on disk; powers ``weekly_refresh``
+    resume.
+``faults``
+    :class:`FaultInjector` — seeded error/latency/kill schedules injected
+    at named seams (registry, pipeline stages, preference reads) for the
+    chaos suite.
+``atomic``
+    temp-file + fsync + rename writes and SHA-256 content digests, shared
+    by the registry and checkpoint store.
+"""
+
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    file_digest,
+    pickle_bytes,
+    sha256_hex,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "file_digest",
+    "pickle_bytes",
+    "sha256_hex",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CheckpointStore",
+    "Deadline",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "RetryPolicy",
+]

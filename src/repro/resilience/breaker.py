@@ -1,0 +1,150 @@
+"""CircuitBreaker — fail fast on a broken dependency, probe for recovery.
+
+The classic three-state machine, driven entirely by the injectable clock:
+
+* **closed** — calls flow; consecutive failures are counted and
+  ``failure_threshold`` of them trips the breaker;
+* **open** — calls are rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (the caller serves its last-good
+  fallback instead) until ``recovery_timeout`` seconds pass;
+* **half_open** — up to ``half_open_max_calls`` trial calls are let
+  through; one failure re-opens, enough successes close.
+
+State transitions invoke ``on_transition(name, old, new)`` so the serving
+layer can flip its degraded gauge and count transitions without the
+breaker knowing about metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CircuitOpenError
+from repro.obs.clock import Clock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        name: str = "breaker",
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Clock | None = None,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1 or half_open_max_calls < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.half_open_max_calls = half_open_max_calls
+        self.clock = clock or Clock()
+        self.on_transition = on_transition
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._half_open_inflight = 0
+        self._opened_at: float | None = None
+        self._trip_count = 0
+        self._rejected = 0
+        self._last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; lazily promotes open → half_open on timeout."""
+        if self._state == OPEN and (
+            self.clock.time() - self._opened_at >= self.recovery_timeout
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    def _transition(self, new: str) -> None:
+        old, self._state = self._state, new
+        if new == OPEN:
+            self._opened_at = self.clock.time()
+            self._trip_count += 1
+        elif new == HALF_OPEN:
+            self._half_open_inflight = 0
+        elif new == CLOSED:
+            self._consecutive_failures = 0
+            self._last_error = None
+        if old != new and self.on_transition is not None:
+            self.on_transition(self.name, old, new)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def allow_request(self) -> bool:
+        """True if a call may proceed now (closed, or a half-open trial)."""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and self._half_open_inflight < self.half_open_max_calls:
+            self._half_open_inflight += 1
+            return True
+        self._rejected += 1
+        return False
+
+    def allow(self) -> None:
+        """Like :meth:`allow_request`, raising when the call is rejected."""
+        if not self.allow_request():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open"
+                + (f" (last error: {self._last_error})" if self._last_error else "")
+            )
+
+    def record_success(self) -> None:
+        if self._state == HALF_OPEN:
+            self._transition(CLOSED)
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self, error: Exception | None = None) -> None:
+        if error is not None:
+            self._last_error = str(error)
+        if self._state == HALF_OPEN:
+            self._transition(OPEN)
+            return
+        self._consecutive_failures += 1
+        if self._state == CLOSED and self._consecutive_failures >= self.failure_threshold:
+            self._transition(OPEN)
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Guard one call: reject fast when open, record the outcome."""
+        self.allow()
+        try:
+            result = fn()
+        except Exception as error:
+            self.record_failure(error)
+            raise
+        self.record_success()
+        return result
+
+    def reset(self) -> None:
+        """Force-close (operator override after a manual fix)."""
+        self._transition(CLOSED)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """State for ``health()``: durable facts, not internals."""
+        state = self.state  # resolves a pending open → half_open promotion
+        return {
+            "name": self.name,
+            "state": state,
+            "consecutive_failures": self._consecutive_failures,
+            "trip_count": self._trip_count,
+            "rejected_calls": self._rejected,
+            "last_error": self._last_error,
+            "opened_at": self._opened_at if state != CLOSED else None,
+        }

@@ -1,0 +1,54 @@
+"""Per-request deadlines, propagated down the serving read path.
+
+A marketer request that cannot finish inside its budget should be *shed*,
+not finished late: a late audience export blocks the marketer UI and ties
+up the worker. :class:`Deadline` is an absolute point on the injectable
+clock's monotonic scale; layers call :meth:`check` at their entry (and
+between expensive phases) and raise
+:class:`~repro.errors.DeadlineExceededError` the moment the budget is gone.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlineExceededError
+from repro.obs.clock import Clock
+
+
+class Deadline:
+    """An absolute expiry on the clock's monotonic (``perf``) scale."""
+
+    __slots__ = ("expires_at", "clock", "timeout")
+
+    def __init__(self, expires_at: float, clock: Clock | None = None,
+                 timeout: float | None = None) -> None:
+        self.clock = clock or Clock()
+        self.expires_at = float(expires_at)
+        self.timeout = timeout
+
+    @classmethod
+    def after(cls, timeout: float, clock: Clock | None = None) -> "Deadline":
+        """A deadline ``timeout`` seconds from now."""
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        clock = clock or Clock()
+        return cls(clock.perf() + timeout, clock=clock, timeout=timeout)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self.clock.perf()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "request") -> None:
+        """Raise if the budget is spent; called at phase boundaries."""
+        overrun = -self.remaining()
+        if overrun >= 0:
+            budget = f" (budget {self.timeout * 1000:.0f} ms)" if self.timeout else ""
+            raise DeadlineExceededError(
+                f"deadline exceeded before {what} by {overrun * 1000:.1f} ms{budget}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"

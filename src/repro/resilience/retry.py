@@ -1,0 +1,114 @@
+"""RetryPolicy — exponential backoff with deterministic, seeded jitter.
+
+Transient storage faults (the paper's weekly refresh writes artifacts to a
+shared store; ours writes registry files and checkpoints) are retried with
+capped exponential backoff. Both sources of nondeterminism are injected:
+
+* time — backoff sleeps go through the :class:`~repro.obs.Clock`, so a
+  :class:`~repro.obs.ManualClock` makes waits instantaneous and exactly
+  measurable;
+* randomness — jitter draws from one ``random.Random(seed)``, so a test
+  re-running the same policy sees the same delay sequence.
+
+Only *transient* errors are retried: :class:`~repro.errors.StorageError`
+(which covers :class:`~repro.resilience.InjectedFault`) by default, while
+:class:`~repro.errors.CorruptArtifactError` is explicitly excluded —
+re-reading corrupt bytes cannot heal them; quarantine handles those.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.errors import CorruptArtifactError, StorageError
+from repro.obs.clock import Clock
+
+
+class RetryPolicy:
+    """Capped exponential backoff with symmetric jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retrying).
+    base_delay / multiplier / max_delay:
+        Attempt ``n`` (1-based) backs off ``base_delay * multiplier**(n-1)``
+        seconds, capped at ``max_delay``, before attempt ``n+1``.
+    jitter:
+        Each delay is scaled by ``uniform(1 - jitter, 1 + jitter)``.
+    retryable / non_retryable:
+        Exception classes to retry / to always re-raise. ``non_retryable``
+        wins, so a corrupt artifact is never retried even though it is a
+        ``StorageError``.
+    on_retry:
+        ``callable(seam, attempt, error)`` invoked before each backoff —
+        the hook the system uses to count ``resilience_retries_total``.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.25,
+        retryable: tuple[type[Exception], ...] = (StorageError,),
+        non_retryable: tuple[type[Exception], ...] = (CorruptArtifactError,),
+        clock: Clock | None = None,
+        seed: int = 0,
+        on_retry: Callable[[str, int, Exception], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1)")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retryable = retryable
+        self.non_retryable = non_retryable
+        self.clock = clock or Clock()
+        self.seed = seed
+        self.on_retry = on_retry
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def delays(self) -> Iterator[float]:
+        """The jittered backoff sequence (one value per retry)."""
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            scale = 1.0 if self.jitter == 0 else self._rng.uniform(
+                1.0 - self.jitter, 1.0 + self.jitter
+            )
+            yield min(delay, self.max_delay) * scale
+            delay *= self.multiplier
+
+    def is_retryable(self, error: Exception) -> bool:
+        return isinstance(error, self.retryable) and not isinstance(
+            error, self.non_retryable
+        )
+
+    def call(self, fn: Callable[[], object], seam: str = "unlabeled") -> object:
+        """Run ``fn`` until it succeeds or the policy is exhausted.
+
+        Non-retryable errors surface immediately; the final retryable error
+        is re-raised unchanged once attempts run out.
+        """
+        delays = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except Exception as error:
+                if not self.is_retryable(error) or attempt == self.max_attempts:
+                    raise
+                if self.on_retry is not None:
+                    self.on_retry(seam, attempt, error)
+                self.clock.sleep(next(delays))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def reset(self) -> None:
+        """Re-seed the jitter stream (tests comparing delay sequences)."""
+        self._rng = random.Random(self.seed)

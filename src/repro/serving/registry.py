@@ -12,6 +12,20 @@ the record list only ever grows. Two artifact kinds exist today:
 * ``preferences`` — a built :class:`~repro.preference.PreferenceStore`,
   serialized to ``.npz`` when the registry has a root directory.
 
+Crash safety (a rooted registry is the system's durable state):
+
+* every durable write — preference artifacts, the record manifest
+  (``registry.json``), drift reports — goes through temp file + fsync +
+  atomic rename, so a torn write leaves the previous complete file;
+* file artifacts carry a SHA-256 checksum in their record, proven on every
+  open; a mismatch (truncation, bit rot) *quarantines* the file under
+  ``quarantine/`` and drops the record instead of serving bad bytes —
+  ``latest()`` then resolves to the previous good generation;
+* the same quarantine path runs at startup, so a corrupt artifact on disk
+  degrades the catalogue rather than crashing the process;
+* per-stage refresh checkpoints live in a sibling
+  :class:`~repro.resilience.CheckpointStore` under ``checkpoints/``.
+
 Drift reports ride alongside: :meth:`ArtifactRegistry.attach_drift_report`
 files a :class:`~repro.obs.drift.DriftReport` under the artifact version it
 measured, persisted as ``drift-{kind}-{version:06d}.json`` when the
@@ -22,17 +36,27 @@ process restart.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import CorruptArtifactError, StorageError
 from repro.obs.drift import DriftReport
 from repro.graph.entity_graph import EntityGraph
 from repro.graph.storage import GraphStore, SnapshotReader
 from repro.preference.store import PreferenceStore
+from repro.resilience import (
+    CheckpointStore,
+    FaultInjector,
+    atomic_write_text,
+    file_digest,
+)
 
 KIND_GRAPH = "graph"
 KIND_PREFERENCES = "preferences"
+
+MANIFEST_NAME = "registry.json"
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass(frozen=True)
@@ -45,6 +69,7 @@ class ArtifactRecord:
     source: str  # "store" | "file" | "memory"
     path: str | None = None
     edges: int | None = None
+    checksum: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -54,7 +79,20 @@ class ArtifactRecord:
             "source": self.source,
             "path": self.path,
             "edges": self.edges,
+            "checksum": self.checksum,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArtifactRecord":
+        return cls(
+            kind=data["kind"],
+            version=int(data["version"]),
+            tag=data["tag"],
+            source=data["source"],
+            path=data.get("path"),
+            edges=data.get("edges"),
+            checksum=data.get("checksum"),
+        )
 
 
 class ArtifactRegistry:
@@ -66,10 +104,19 @@ class ArtifactRegistry:
         Optional directory for durable artifacts (preference ``.npz``
         files). Without it the registry still versions and names artifacts,
         holding storeless ones in memory — the shape integration tests use.
+    faults:
+        Optional :class:`~repro.resilience.FaultInjector`; when given, the
+        ``registry.write`` / ``registry.read`` seams fire on every durable
+        write / artifact open (the chaos suite's flaky-storage knob).
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else None
+        self._faults = faults
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
         self._records: dict[str, list[ArtifactRecord]] = {
@@ -79,7 +126,15 @@ class ArtifactRegistry:
         self._graph_store: GraphStore | None = None
         self._memory: dict[tuple[str, int], object] = {}
         self._drift: dict[tuple[str, int], DriftReport] = {}
+        #: Artifacts moved aside because they failed validation — each entry
+        #: is ``{kind, version, path, reason}``. Surfaced in ``health()``.
+        self.quarantined: list[dict] = []
+        self.checkpoints = CheckpointStore(
+            root=self.root / "checkpoints" if self.root is not None else None,
+            faults=faults,
+        )
         if self.root is not None:
+            self._load_manifest()
             self._load_drift_reports()
 
     # ------------------------------------------------------------------
@@ -98,6 +153,7 @@ class ArtifactRegistry:
         :class:`EntityGraph` is registered in memory under the next
         version number.
         """
+        self._check_faults("registry.write")
         if isinstance(graph, GraphStore):
             if self._graph_store is not None and self._graph_store is not graph:
                 raise StorageError("registry is already bound to a different GraphStore")
@@ -132,15 +188,23 @@ class ArtifactRegistry:
     def publish_preferences(
         self, store: PreferenceStore, tag: str | None = None
     ) -> ArtifactRecord:
-        """Register a daily preference artifact (saved to disk if rooted)."""
+        """Register a daily preference artifact (saved to disk if rooted).
+
+        The ``.npz`` is written to a temp name and atomically renamed into
+        place; its SHA-256 goes into the record, so every later open can
+        prove it reads the published bytes.
+        """
+        self._check_faults("registry.write")
         version = self._next_version(KIND_PREFERENCES)
         tag = tag or f"daily-{version}"
         store.version_tag = tag
         if self.root is not None:
-            path = store.save(self.root / f"preferences-{version:06d}.npz")
+            final = self.root / f"preferences-{version:06d}.npz"
+            tmp = store.save(self.root / f".tmp-preferences-{version:06d}.npz")
+            os.replace(tmp, final)
             record = ArtifactRecord(
                 kind=KIND_PREFERENCES, version=version, tag=tag,
-                source="file", path=str(path),
+                source="file", path=str(final), checksum=file_digest(final),
             )
         else:
             record = ArtifactRecord(
@@ -154,18 +218,75 @@ class ArtifactRegistry:
     # ------------------------------------------------------------------
     def open_graph(self, version: int | None = None) -> SnapshotReader | EntityGraph:
         """Open a published graph artifact, pinned to its version."""
+        self._check_faults("registry.read")
         record = self._resolve(KIND_GRAPH, version)
         if record.source == "store":
-            assert self._graph_store is not None
+            if self._graph_store is None:
+                raise StorageError(
+                    "graph record references a GraphStore this process has "
+                    "not bound; publish the store first"
+                )
             return self._graph_store.snapshot_reader(record.version)
         return self._memory[(KIND_GRAPH, record.version)]
 
     def open_preferences(self, version: int | None = None) -> PreferenceStore:
-        """Open a published preference artifact (loads from disk if rooted)."""
+        """Open a published preference artifact (loads from disk if rooted).
+
+        A file artifact whose bytes no longer match the published checksum
+        is quarantined and its record dropped before
+        :class:`~repro.errors.CorruptArtifactError` is raised — the next
+        ``open_preferences()`` resolves to the previous good version.
+        """
+        self._check_faults("registry.read")
         record = self._resolve(KIND_PREFERENCES, version)
         if record.source == "file":
+            self._validate_file_record(record, raise_on_corrupt=True)
             return PreferenceStore.load(record.path)
         return self._memory[(KIND_PREFERENCES, record.version)]
+
+    # ------------------------------------------------------------------
+    # Validation + quarantine
+    # ------------------------------------------------------------------
+    def _validate_file_record(
+        self, record: ArtifactRecord, raise_on_corrupt: bool
+    ) -> bool:
+        """Prove a file artifact's bytes; quarantine + drop on mismatch."""
+        path = Path(record.path)
+        reason = None
+        if not path.exists():
+            reason = "artifact file missing"
+        elif record.checksum is not None and file_digest(path) != record.checksum:
+            reason = "checksum mismatch (truncated or corrupted file)"
+        if reason is None:
+            return True
+        self._quarantine(record, reason)
+        if raise_on_corrupt:
+            raise CorruptArtifactError(
+                f"{record.kind} artifact v{record.version} quarantined: {reason}"
+            )
+        return False
+
+    def _quarantine(self, record: ArtifactRecord, reason: str) -> None:
+        """Move the bad file aside, drop the record, keep the evidence."""
+        quarantined_path = None
+        path = Path(record.path) if record.path else None
+        if path is not None and path.exists() and self.root is not None:
+            qdir = self.root / QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            quarantined_path = qdir / path.name
+            os.replace(path, quarantined_path)
+        records = self._records.get(record.kind, [])
+        if record in records:
+            records.remove(record)
+            self._save_manifest()
+        self.quarantined.append(
+            {
+                "kind": record.kind,
+                "version": record.version,
+                "path": str(quarantined_path) if quarantined_path else record.path,
+                "reason": reason,
+            }
+        )
 
     # ------------------------------------------------------------------
     # Drift reports (filed by the serving runtime at swap time)
@@ -181,10 +302,9 @@ class ArtifactRegistry:
         self._require_kind(report.kind)
         self._drift[(report.kind, report.new_version)] = report
         if self.root is not None:
-            path = self.root / f"drift-{report.kind}-{report.new_version:06d}.json"
-            path.write_text(
+            atomic_write_text(
+                self.root / f"drift-{report.kind}-{report.new_version:06d}.json",
                 json.dumps(report.to_dict(), indent=2, sort_keys=True),
-                encoding="utf-8",
             )
 
     def drift_report(self, kind: str, version: int) -> DriftReport | None:
@@ -198,16 +318,93 @@ class ArtifactRegistry:
         return [self._drift[k] for k in keys]
 
     def _load_drift_reports(self) -> None:
-        """Rehydrate persisted reports so restarts keep the swap history."""
+        """Rehydrate persisted reports so restarts keep the swap history.
+
+        A torn report file is skipped (recorded under ``quarantined``), not
+        fatal — losing one swap's evidence must not block startup.
+        """
         assert self.root is not None
         for path in sorted(self.root.glob("drift-*-*.json")):
             try:
                 report = DriftReport.from_dict(
                     json.loads(path.read_text(encoding="utf-8"))
                 )
-            except (ValueError, TypeError) as error:
-                raise StorageError(f"corrupt drift report {path}: {error}") from error
+            except (ValueError, TypeError, KeyError):
+                self.quarantined.append(
+                    {
+                        "kind": "drift-report",
+                        "version": None,
+                        "path": str(path),
+                        "reason": "unparseable drift report",
+                    }
+                )
+                continue
             self._drift[(report.kind, report.new_version)] = report
+
+    # ------------------------------------------------------------------
+    # Manifest persistence (rooted registries survive restarts)
+    # ------------------------------------------------------------------
+    def _save_manifest(self) -> None:
+        if self.root is None:
+            return
+        self._check_faults("registry.write")
+        payload = {
+            "records": {
+                kind: [r.to_dict() for r in records]
+                for kind, records in self._records.items()
+            }
+        }
+        atomic_write_text(
+            self.root / MANIFEST_NAME, json.dumps(payload, indent=2, sort_keys=True)
+        )
+
+    def _load_manifest(self) -> None:
+        """Reload the published catalogue; validate every file artifact.
+
+        Memory-source records died with their process and are dropped;
+        store-source records are kept (they resolve again once the
+        GraphStore is re-bound); file artifacts that fail their checksum
+        are quarantined — startup never crashes on a torn artifact.
+        """
+        assert self.root is not None
+        path = self.root / MANIFEST_NAME
+        if not path.exists():
+            return
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            raw = payload["records"]
+        except (ValueError, KeyError):
+            self.quarantined.append(
+                {
+                    "kind": "manifest",
+                    "version": None,
+                    "path": str(path),
+                    "reason": "unparseable registry manifest",
+                }
+            )
+            return
+        corrupt: list[tuple[ArtifactRecord, str]] = []
+        for kind in self._records:
+            for data in raw.get(kind, []):
+                record = ArtifactRecord.from_dict(data)
+                if record.source == "memory":
+                    continue
+                if record.source == "file":
+                    file_path = Path(record.path) if record.path else None
+                    if file_path is None or not file_path.exists():
+                        corrupt.append((record, "artifact file missing"))
+                        continue
+                    if (
+                        record.checksum is not None
+                        and file_digest(file_path) != record.checksum
+                    ):
+                        corrupt.append(
+                            (record, "checksum mismatch (truncated or corrupted file)")
+                        )
+                        continue
+                self._records[kind].append(record)
+        for record, reason in corrupt:
+            self._quarantine(record, reason)
 
     # ------------------------------------------------------------------
     # Catalogue
@@ -226,6 +423,10 @@ class ArtifactRegistry:
         raise StorageError(f"no {kind} artifact with version {version}")
 
     # ------------------------------------------------------------------
+    def _check_faults(self, seam: str) -> None:
+        if self._faults is not None:
+            self._faults.check(seam)
+
     def _require_kind(self, kind: str) -> list[ArtifactRecord]:
         if kind not in self._records:
             raise StorageError(f"unknown artifact kind {kind!r}")
@@ -251,4 +452,11 @@ class ArtifactRegistry:
                 f"the latest ({records[-1].version})"
             )
         records.append(record)
+        try:
+            self._save_manifest()
+        except BaseException:
+            # A failed manifest write must not leave a half-published
+            # record behind — the caller's retry re-publishes cleanly.
+            records.remove(record)
+            raise
         return record

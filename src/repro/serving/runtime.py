@@ -22,6 +22,29 @@ the offline producers republish artifacts weekly (entity graph) and daily
   (:class:`~repro.errors.DriftGateError`) and serving continues on the old
   generation — the report is still recorded and forwarded, so the rejection
   is observable everywhere a successful swap would be.
+
+Degraded-mode serving (this layer's fault-tolerance contract):
+
+* **activation breaker** — repeated activation failures (corrupt artifact,
+  injected storage faults) trip a :class:`~repro.resilience.CircuitBreaker`;
+  while it is open, further swap attempts are rejected fast with
+  :class:`~repro.errors.CircuitOpenError` and the last-good generation
+  keeps serving;
+* **preference-read breaker** — failures while scoring users trip a second
+  breaker; while it is open, ``target*`` serves from the *last-good*
+  generation (the one that most recently scored successfully) instead of
+  the active one, and recovery is probed half-open under the clock;
+* **deadlines** — ``expand``/``target*`` accept a per-request
+  :class:`~repro.resilience.Deadline`; expired requests are *shed*
+  (:class:`~repro.errors.DeadlineExceededError`) and counted, never
+  finished late;
+* **rollback** — :meth:`ServingRuntime.rollback` reinstates the previous
+  generation per artifact kind (the manual lever when a bad artifact got
+  past every gate).
+
+``health()`` reports ``degraded: true`` with reasons whenever any breaker
+is not closed, so operators (and the chaos suite) see every degraded
+interval.
 """
 
 from __future__ import annotations
@@ -30,12 +53,19 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, replace
 
-from repro.errors import DriftGateError, NotFittedError
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    DriftGateError,
+    NotFittedError,
+    ReproError,
+)
 from repro.obs import Observability
 from repro.obs.drift import DriftMonitor, DriftReport
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult, UserTargeting
 from repro.preference.store import PreferenceStore
+from repro.resilience import CLOSED, CircuitBreaker, Deadline, FaultInjector
 from repro.serving.cache import VersionedLRUCache
 from repro.tensor import no_grad
 
@@ -77,6 +107,9 @@ class ServingRuntime:
         obs: Observability | None = None,
         drift_monitor: DriftMonitor | None = None,
         gate_on_critical_drift: bool = False,
+        activation_breaker: CircuitBreaker | None = None,
+        read_breaker: CircuitBreaker | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.obs = obs or Observability()
         self._clock = self.obs.clock
@@ -90,6 +123,26 @@ class ServingRuntime:
         self.drift_monitor = drift_monitor
         self.gate_on_critical_drift = gate_on_critical_drift
         self._drift_reports: deque[DriftReport] = deque(maxlen=SWAP_EVENT_CAPACITY)
+        self._faults = faults
+        self._log = self.obs.logger.child("runtime")
+        # Previous generations, per artifact kind, for explicit rollback.
+        self._previous_graph: ActiveArtifacts | None = None
+        self._previous_preferences: ActiveArtifacts | None = None
+        # The generation that most recently *served a scoring request
+        # successfully* — what degraded mode falls back to when the
+        # preference-read breaker is open.
+        self._last_good: ActiveArtifacts | None = None
+        self.activation_breaker = activation_breaker or CircuitBreaker(
+            "activation", failure_threshold=3, recovery_timeout=60.0,
+            clock=self._clock, on_transition=self._on_breaker_transition,
+        )
+        self.read_breaker = read_breaker or CircuitBreaker(
+            "preference_read", failure_threshold=5, recovery_timeout=30.0,
+            clock=self._clock, on_transition=self._on_breaker_transition,
+        )
+        for breaker in (self.activation_breaker, self.read_breaker):
+            if breaker.on_transition is None:
+                breaker.on_transition = self._on_breaker_transition
         #: Optional callback invoked with every DriftReport (accepted or
         #: rejected); EGLSystem uses it to persist reports in the registry
         #: and feed the alert engine, including for direct activations.
@@ -121,6 +174,66 @@ class ServingRuntime:
         self._observe_target = metrics.histogram(
             "serving_target_seconds", help="User-targeting scoring latency"
         ).observe
+        self._degraded_gauge = metrics.gauge(
+            "serving_degraded", help="1 while any serving breaker is not closed"
+        )
+        self._degraded_serve_counter = metrics.counter(
+            "serving_degraded_serves_total",
+            help="Requests answered from the last-good generation",
+        )
+        self._rollback_counters = {
+            kind: metrics.counter(
+                "serving_rollbacks_total",
+                help="Explicit rollbacks to the previous generation", kind=kind,
+            )
+            for kind in ("graph", "preferences")
+        }
+        self._shed_counters: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def _on_breaker_transition(self, name: str, old: str, new: str) -> None:
+        self.obs.metrics.counter(
+            "breaker_transitions_total",
+            help="Circuit-breaker state transitions", breaker=name, to=new,
+        ).inc()
+        self._degraded_gauge.set(1.0 if self._degraded_reasons() else 0.0)
+        self._log.warning(
+            "breaker_transition", breaker=name, old_state=old, new_state=new
+        )
+
+    def _degraded_reasons(self) -> list[str]:
+        reasons = []
+        for breaker in (self.activation_breaker, self.read_breaker):
+            snap = breaker.snapshot()
+            if snap["state"] != CLOSED:
+                detail = (
+                    f" (last error: {snap['last_error']})" if snap["last_error"] else ""
+                )
+                reasons.append(f"{breaker.name} breaker {snap['state']}{detail}")
+        return reasons
+
+    @property
+    def degraded(self) -> bool:
+        """True while any serving breaker is open or probing recovery."""
+        return bool(self._degraded_reasons())
+
+    def _shed(self, endpoint: str, reason: str) -> None:
+        counter = self._shed_counters.get((endpoint, reason))
+        if counter is None:
+            counter = self.obs.metrics.counter(
+                "serving_shed_requests_total",
+                help="Requests shed instead of served",
+                endpoint=endpoint, reason=reason,
+            )
+            self._shed_counters[(endpoint, reason)] = counter
+        counter.inc()
+
+    def _check_deadline(self, deadline: Deadline | None, endpoint: str) -> None:
+        if deadline is not None and deadline.expired:
+            self._shed(endpoint, "deadline")
+            deadline.check(endpoint)
 
     # ------------------------------------------------------------------
     # Artifact activation (called by the offline producers)
@@ -137,22 +250,38 @@ class ServingRuntime:
 
         Raises :class:`~repro.errors.DriftGateError` when the drift gate is
         enabled and the candidate drifted critically from the active graph;
-        the old generation keeps serving.
+        :class:`~repro.errors.CircuitOpenError` when the activation breaker
+        is open. Either way the old generation keeps serving.
         """
         start = self._perf()
+        breaker = self.activation_breaker
+        breaker.allow()
         previous = self._active
-        if self.drift_monitor is not None and previous.reasoner is not None:
-            report = self.drift_monitor.graph_report(
-                previous.reasoner.graph, reasoner.graph,
-                previous.graph_version, version,
-            )
-            self._check_gate("graph", report, tag or f"graph-v{version}", start)
+        try:
+            if self._faults is not None:
+                self._faults.check("runtime.activate")
+            if self.drift_monitor is not None and previous.reasoner is not None:
+                report = self.drift_monitor.graph_report(
+                    previous.reasoner.graph, reasoner.graph,
+                    previous.graph_version, version,
+                )
+                self._check_gate("graph", report, tag or f"graph-v{version}", start)
+        except DriftGateError:
+            # A gate rejection is a *policy* outcome, not an infrastructure
+            # failure — it must not push the breaker towards tripping.
+            raise
+        except Exception as error:
+            breaker.record_failure(error)
+            raise
         self._active = replace(
             previous,
             graph_version=version,
             graph_tag=tag or f"graph-v{version}",
             reasoner=reasoner,
         )
+        breaker.record_success()
+        if previous.reasoner is not None:
+            self._previous_graph = previous
         self._swap_count += 1
         if previous.graph_version is not None and previous.graph_version != version:
             self._cache.purge_version(previous.graph_version)
@@ -166,19 +295,31 @@ class ServingRuntime:
         """Hot-swap the daily preference artifact.
 
         Raises :class:`~repro.errors.DriftGateError` when the drift gate is
-        enabled and the candidate's score distribution drifted critically.
+        enabled and the candidate's score distribution drifted critically;
+        :class:`~repro.errors.CircuitOpenError` when the activation breaker
+        is open.
         """
         start = self._perf()
+        breaker = self.activation_breaker
+        breaker.allow()
         previous = self._active
-        if self.drift_monitor is not None and previous.preference_store is not None:
-            report = self.drift_monitor.preference_report(
-                previous.preference_store, store,
-                previous.preference_version, version,
-            )
-            self._check_gate(
-                "preferences", report,
-                tag or store.version_tag or f"daily-{version}", start,
-            )
+        try:
+            if self._faults is not None:
+                self._faults.check("runtime.activate")
+            if self.drift_monitor is not None and previous.preference_store is not None:
+                report = self.drift_monitor.preference_report(
+                    previous.preference_store, store,
+                    previous.preference_version, version,
+                )
+                self._check_gate(
+                    "preferences", report,
+                    tag or store.version_tag or f"daily-{version}", start,
+                )
+        except DriftGateError:
+            raise
+        except Exception as error:
+            breaker.record_failure(error)
+            raise
         self._active = replace(
             previous,
             preference_version=version,
@@ -186,6 +327,9 @@ class ServingRuntime:
             preference_store=store,
             targeting=UserTargeting(store),
         )
+        breaker.record_success()
+        if previous.preference_store is not None:
+            self._previous_preferences = previous
         self._swap_count += 1
         self._record_swap(
             "preferences", previous.preference_version, version,
@@ -256,6 +400,78 @@ class ServingRuntime:
         return self._active
 
     # ------------------------------------------------------------------
+    # Rollback (the manual lever)
+    # ------------------------------------------------------------------
+    def rollback(self, kind: str = "graph") -> dict:
+        """Reinstate the previous generation for one artifact kind.
+
+        The previous generation was retained at swap time, so rollback is a
+        single atomic reference assignment — exactly as cheap and safe as
+        the swap that installed the bad artifact. Rolling back twice
+        returns to where you started (the replaced generation is retained
+        in turn).
+
+        Returns the resulting :meth:`versions` map. Raises
+        :class:`~repro.errors.NotFittedError` when no previous generation
+        of that kind exists.
+        """
+        start = self._perf()
+        current = self._active
+        if kind == "graph":
+            previous = self._previous_graph
+            if previous is None:
+                raise NotFittedError("no previous graph generation to roll back to")
+            self._active = replace(
+                current,
+                graph_version=previous.graph_version,
+                graph_tag=previous.graph_tag,
+                reasoner=previous.reasoner,
+            )
+            self._previous_graph = current
+            old_version, new_version = current.graph_version, previous.graph_version
+            tag = previous.graph_tag
+            if old_version is not None and old_version != new_version:
+                self._cache.purge_version(old_version)
+            self._graph_version_gauge.set(new_version)
+        elif kind == "preferences":
+            previous = self._previous_preferences
+            if previous is None:
+                raise NotFittedError(
+                    "no previous preference generation to roll back to"
+                )
+            self._active = replace(
+                current,
+                preference_version=previous.preference_version,
+                preference_tag=previous.preference_tag,
+                preference_store=previous.preference_store,
+                targeting=previous.targeting,
+            )
+            self._previous_preferences = current
+            old_version = current.preference_version
+            new_version = previous.preference_version
+            tag = previous.preference_tag
+            self._pref_version_gauge.set(new_version)
+        else:
+            raise NotFittedError(f"unknown artifact kind {kind!r} for rollback")
+        self._swap_count += 1
+        self._swap_events.append(
+            {
+                "kind": kind,
+                "old_version": old_version,
+                "new_version": new_version,
+                "tag": tag,
+                "rollback": True,
+                "duration_ms": (self._perf() - start) * 1000,
+                "at": self._clock.time(),
+            }
+        )
+        self._rollback_counters[kind].inc()
+        self._log.warning(
+            "rollback", kind=kind, old_version=old_version, new_version=new_version
+        )
+        return self.versions()
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def expand(
@@ -265,8 +481,10 @@ class ServingRuntime:
         min_score: float = 0.0,
         max_neighbors_per_node: int | None = 25,
         max_nodes: int | None = None,
+        deadline: Deadline | None = None,
     ) -> ExpansionView:
         """k-hop expansion, read-through cached under the active version."""
+        self._check_deadline(deadline, "expand")
         active = self.acquire()
         reasoner = active.require_reasoner()
         key = (
@@ -303,16 +521,62 @@ class ServingRuntime:
         self._observe_expand_miss(self._perf() - start)
         return view
 
+    def _score(self, endpoint: str, score_with) -> object:
+        """Run one scoring call through the preference-read breaker.
+
+        Closed (or half-open with a trial slot): score against the active
+        generation; success refreshes the last-good snapshot, failure
+        counts towards tripping and falls back once if a distinct last-good
+        generation exists. Open: skip the active generation entirely and
+        serve from last-good — the degraded interval the breaker buys.
+        """
+        breaker = self.read_breaker
+        active = self.acquire()
+        if not breaker.allow_request():
+            fallback = self._last_good
+            if fallback is None or fallback.targeting is None:
+                self._shed(endpoint, "circuit_open")
+                raise CircuitOpenError(
+                    "preference read path is open and no last-good generation exists"
+                )
+            self._degraded_serve_counter.inc()
+            return score_with(fallback.targeting)
+        targeting = active.require_targeting()  # NotFittedError is not a failure
+        try:
+            if self._faults is not None:
+                self._faults.check("preferences.read")
+            result = score_with(targeting)
+        except (ConfigError, NotFittedError):
+            raise  # caller mistakes, not dependency failures
+        except ReproError as error:
+            breaker.record_failure(error)
+            fallback = self._last_good
+            if (
+                fallback is not None
+                and fallback.targeting is not None
+                and fallback.targeting is not targeting
+            ):
+                self._degraded_serve_counter.inc()
+                return score_with(fallback.targeting)
+            raise
+        breaker.record_success()
+        self._last_good = active
+        return result
+
     def target(
         self,
         entity_ids: list[int],
         k: int = 50,
         weights: list[float] | None = None,
+        deadline: Deadline | None = None,
     ) -> TargetingResult:
         """Top-K users for one entity set (scoring already under no_grad)."""
+        self._check_deadline(deadline, "target")
         start = self._perf()
         with self.obs.tracer.span("runtime.target", k=k, entities=len(entity_ids)):
-            result = self.acquire().require_targeting().target(entity_ids, k, weights=weights)
+            result = self._score(
+                "target", lambda t: t.target(entity_ids, k, weights=weights)
+            )
         self._observe_target(self._perf() - start)
         return result
 
@@ -321,12 +585,15 @@ class ServingRuntime:
         entity_sets: list[list[int]],
         k: int = 50,
         weights: list[list[float] | None] | None = None,
+        deadline: Deadline | None = None,
     ) -> list[TargetingResult]:
         """Vectorized scoring of many entity sets in one call."""
+        self._check_deadline(deadline, "target_batch")
         start = self._perf()
         with self.obs.tracer.span("runtime.target_batch", k=k, sets=len(entity_sets)):
-            results = self.acquire().require_targeting().target_batch(
-                entity_sets, k, weights=weights
+            results = self._score(
+                "target_batch",
+                lambda t: t.target_batch(entity_sets, k, weights=weights),
             )
         self._observe_target(self._perf() - start)
         return results
@@ -338,13 +605,19 @@ class ServingRuntime:
         k: int = 50,
         min_score: float = 0.0,
         max_entities: int | None = 15,
+        deadline: Deadline | None = None,
     ) -> tuple[ExpansionView, TargetingResult]:
-        """The full cold-start flow: phrases → cached expansion → top-K users."""
-        view = self.expand(phrases, depth=depth, min_score=min_score)
+        """The full cold-start flow: phrases → cached expansion → top-K users.
+
+        The deadline is re-checked between the two phases, so a slow
+        expansion sheds the (more expensive) scoring pass instead of
+        starting it with a spent budget.
+        """
+        view = self.expand(phrases, depth=depth, min_score=min_score, deadline=deadline)
         chosen = view.entities if max_entities is None else view.entities[:max_entities]
         entity_ids = [e.entity_id for e in chosen]
         weights = [e.score for e in chosen]
-        return view, self.target(entity_ids, k=k, weights=weights)
+        return view, self.target(entity_ids, k=k, weights=weights, deadline=deadline)
 
     # ------------------------------------------------------------------
     # Observability
@@ -360,11 +633,22 @@ class ServingRuntime:
         }
 
     def health(self) -> dict:
-        """Liveness plus artifact/cache state for the health endpoint."""
+        """Liveness plus artifact/cache/degraded state for the endpoint."""
         active = self._active
+        reasons = self._degraded_reasons()
         return {
             "graph_ready": active.reasoner is not None,
             "preferences_ready": active.targeting is not None,
+            "degraded": bool(reasons),
+            "degraded_reasons": reasons,
+            "breakers": {
+                "activation": self.activation_breaker.snapshot(),
+                "preference_read": self.read_breaker.snapshot(),
+            },
+            "rollback_available": {
+                "graph": self._previous_graph is not None,
+                "preferences": self._previous_preferences is not None,
+            },
             "swap_count": self._swap_count,
             "uptime_seconds": self._clock.time() - self._started_at,
             "cache": self._cache.stats(),

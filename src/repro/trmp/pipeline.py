@@ -6,6 +6,14 @@ too) and can process any number of weekly data drops. Each weekly run
 retrains the co-occurrence embeddings and the ALPC ranking model, mines an
 entity graph, and contributes a snapshot to the ensemble — exactly the
 weekly refresh cadence described in §II-B.
+
+Fault tolerance: when a :class:`~repro.resilience.CheckpointStore` is
+attached, each stage's output (cooccurrence, candidates, ranked, ensemble)
+is checkpointed under the run id the moment it completes — through the
+attached :class:`~repro.resilience.RetryPolicy` when storage is flaky —
+and ``run_week(..., resume=True)`` reloads completed stages instead of
+recomputing them. Every training stage is seeded, so a resumed run is
+byte-identical (same checkpoint digests) to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from repro.embeddings.skipgram import SkipGramConfig, SkipGramModel
 from repro.errors import ConfigError, NotFittedError
 from repro.graph.entity_graph import RELATION_RANKED, EntityGraph
 from repro.obs import Observability
+from repro.resilience import CheckpointStore, FaultInjector, RetryPolicy
 from repro.rng import ensure_rng
 from repro.text.entity_dict import EntityDict
 from repro.text.sequence_extractor import EntitySequenceExtractor
@@ -71,6 +80,14 @@ class WeeklyRun:
     #: Wall-time per TRMP stage for this run (ensemble is recorded on the
     #: pipeline after :meth:`TRMPipeline.train_ensemble`).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: The checkpoint run id this week was produced under (None when the
+    #: pipeline runs without a checkpoint store).
+    run_id: str | None = None
+    #: Stages loaded from checkpoints rather than recomputed.
+    resumed_stages: list[str] = field(default_factory=list)
+    #: Stage → content digest of the checkpointed payload (the idempotency
+    #: evidence: identical seeded runs produce identical digests).
+    stage_digests: dict[str, str] = field(default_factory=dict)
 
     @property
     def snapshot_embeddings(self) -> np.ndarray:
@@ -102,6 +119,9 @@ class TRMPipeline:
         world: World,
         config: TRMPConfig | None = None,
         obs: Observability | None = None,
+        checkpoints: CheckpointStore | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.world = world
         self.config = config or TRMPConfig()
@@ -114,6 +134,11 @@ class TRMPipeline:
         self.ensemble: EnsembleLinkPredictor | None = None
         self.reweighter = DriftAwareReweighter() if self.config.stable_reweighting else None
         self._stage_seconds: dict[str, float] = {}
+        #: Optional per-stage checkpointing (attached by EGLSystem so the
+        #: checkpoints live next to the artifact registry).
+        self.checkpoints = checkpoints
+        self.retry = retry
+        self.faults = faults
 
     @contextmanager
     def _stage(self, name: str):
@@ -266,42 +291,140 @@ class TRMPipeline:
     # ------------------------------------------------------------------
     # Weekly orchestration + Stage III
     # ------------------------------------------------------------------
+    def _stage_checkpointed(
+        self,
+        run_id: str,
+        stage: str,
+        resume: bool,
+        run_state: dict,
+        compute,
+    ):
+        """Run one stage through the checkpoint store.
+
+        On resume, a completed stage's payload is loaded (digest-proven)
+        instead of recomputed. Otherwise the stage runs, its payload is
+        checkpointed — through the retry policy when one is attached, so a
+        flaky store doesn't lose the work — and the ``pipeline.<stage>``
+        fault seam fires *after* the commit: a scripted kill there models a
+        crash between stages, which is exactly what resume must survive.
+        """
+        ckpt = self.checkpoints
+        if ckpt is not None and resume and ckpt.has(run_id, stage):
+            payload = ckpt.get(run_id, stage)
+            run_state["resumed"].append(stage)
+            run_state["digests"][stage] = ckpt.digest(run_id, stage)
+            return payload
+        payload = compute()
+        if ckpt is not None:
+            put = lambda: ckpt.put(run_id, stage, payload)
+            digest = put() if self.retry is None else self.retry.call(
+                put, seam=f"checkpoint.{stage}"
+            )
+            run_state["digests"][stage] = digest
+            if self.faults is not None:
+                self.faults.check(f"pipeline.{stage}")
+        return payload
+
     def run_week(
         self,
         events: list[BehaviorEvent],
         feedback_pairs: np.ndarray | None = None,
+        run_id: str | None = None,
+        resume: bool = False,
     ) -> WeeklyRun:
-        """One full offline refresh on a weekly data drop."""
+        """One full offline refresh on a weekly data drop.
+
+        With a checkpoint store attached, each stage commits its output
+        under ``run_id`` (default ``weekly-<week>``) as it completes;
+        ``resume=True`` reloads completed stages, so a refresh killed
+        mid-run finishes from where it stopped — with identical results,
+        since every stage is seeded.
+        """
         week = len(self.weekly_runs)
+        run_id = run_id or f"weekly-{week:04d}"
         self._stage_seconds = {}
+        run_state: dict = {"resumed": [], "digests": {}}
         with self.obs.tracer.span("pipeline.run_week", week=week):
-            e_co = self.build_cooccurrence(events)
-            candidate = self.build_candidate(e_co)
-            alpc, split = self.train_ranking(
-                candidate, feedback_pairs=feedback_pairs, seed=self.config.seed + week
+            co_payload = self._stage_checkpointed(
+                run_id, "cooccurrence", resume, run_state,
+                lambda: self._compute_cooccurrence(events),
             )
-            ranked = self.ranked_graph(candidate, alpc)
+            e_co = co_payload["e_co"]
+            # Tail-entity evidence must survive a resume: the candidate and
+            # ranking stages read it off the pipeline.
+            self._last_entity_counts = co_payload["counts"]
+            candidate = self._stage_checkpointed(
+                run_id, "candidates", resume, run_state,
+                lambda: self.build_candidate(e_co),
+            )
+            if self._e_semantic is None and "candidates" in run_state["resumed"]:
+                self._e_semantic = candidate.e_semantic
+            ranked_payload = self._stage_checkpointed(
+                run_id, "ranked", resume, run_state,
+                lambda: self._compute_ranked(candidate, feedback_pairs, week),
+            )
         run = WeeklyRun(
             week=week,
             candidate=candidate,
-            split=split,
-            alpc=alpc,
-            ranked_graph=ranked,
+            split=ranked_payload["split"],
+            alpc=ranked_payload["alpc"],
+            ranked_graph=ranked_payload["ranked"],
             stage_seconds=dict(self._stage_seconds),
+            run_id=run_id,
+            resumed_stages=run_state["resumed"],
+            stage_digests=run_state["digests"],
         )
         self.weekly_runs.append(run)
         return run
 
-    def train_ensemble(self) -> EnsembleLinkPredictor:
-        """Stage III: fuse the trailing weekly snapshots (Eq. 6)."""
+    def _compute_cooccurrence(self, events: list[BehaviorEvent]) -> dict:
+        e_co = self.build_cooccurrence(events)
+        return {"e_co": e_co, "counts": self._last_entity_counts}
+
+    def _compute_ranked(
+        self,
+        candidate: CandidateResult,
+        feedback_pairs: np.ndarray | None,
+        week: int,
+    ) -> dict:
+        alpc, split = self.train_ranking(
+            candidate, feedback_pairs=feedback_pairs, seed=self.config.seed + week
+        )
+        ranked = self.ranked_graph(candidate, alpc)
+        return {"alpc": alpc, "split": split, "ranked": ranked}
+
+    def train_ensemble(
+        self, run_id: str | None = None, resume: bool = False
+    ) -> EnsembleLinkPredictor:
+        """Stage III: fuse the trailing weekly snapshots (Eq. 6).
+
+        Checkpointed under ``run_id`` like the weekly stages when a store
+        is attached, so a crash after ensemble training resumes for free.
+        """
         if not self.weekly_runs:
             raise NotFittedError("no weekly runs available for the ensemble")
+        ckpt = self.checkpoints
+        run_id = run_id or self.weekly_runs[-1].run_id
+        if ckpt is not None and run_id is not None and resume and ckpt.has(run_id, "ensemble"):
+            self.ensemble = ckpt.get(run_id, "ensemble")
+            run = self.weekly_runs[-1]
+            run.resumed_stages.append("ensemble")
+            run.stage_digests["ensemble"] = ckpt.digest(run_id, "ensemble")
+            return self.ensemble
         with self._stage("ensemble"):
             window = self.weekly_runs[-self.config.ensemble_window :]
             snapshots = [run.snapshot_embeddings for run in window]
             ensemble = EnsembleLinkPredictor(self.config.ensemble)
             ensemble.fit(snapshots, window[-1].split)
         self.ensemble = ensemble
+        if ckpt is not None and run_id is not None:
+            put = lambda: ckpt.put(run_id, "ensemble", ensemble)
+            digest = put() if self.retry is None else self.retry.call(
+                put, seam="checkpoint.ensemble"
+            )
+            self.weekly_runs[-1].stage_digests["ensemble"] = digest
+            if self.faults is not None:
+                self.faults.check("pipeline.ensemble")
         return ensemble
 
     def entity_embeddings(self) -> np.ndarray:

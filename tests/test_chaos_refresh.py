@@ -1,0 +1,159 @@
+"""Chaos suite for the checkpointed weekly refresh.
+
+The acceptance bar: a refresh killed after *any* stage resumes to a final
+artifact whose content digest is byte-identical to an uninterrupted run,
+and a 30% storage error rate still completes through retries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import BehaviorConfig, BehaviorLogGenerator, World, WorldConfig
+from repro.embeddings import SkipGramConfig
+from repro.embeddings.mlm import MLMConfig
+from repro.embeddings.semantic import SemanticEncoderConfig
+from repro.obs import ManualClock, Observability
+from repro.online import EGLSystem
+from repro.online.system import graph_digest
+from repro.resilience import FaultInjector, InjectedCrash, RetryPolicy
+from repro.trmp import ALPCConfig, EnsembleConfig, TRMPConfig
+
+WEEKLY_STAGES = ["cooccurrence", "candidates", "ranked"]
+
+
+def fast_config() -> TRMPConfig:
+    return TRMPConfig(
+        skipgram=SkipGramConfig(epochs=6, seed=2),
+        semantic=SemanticEncoderConfig(mlm=MLMConfig(epochs=3, seed=3)),
+        alpc=ALPCConfig(epochs=12, seed=1),
+        ensemble=EnsembleConfig(epochs=8, seed=0),
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    return World(WorldConfig(num_entities=60, num_users=50, seed=9))
+
+
+@pytest.fixture(scope="module")
+def chaos_events(chaos_world):
+    return BehaviorLogGenerator(chaos_world, BehaviorConfig(num_days=10, seed=4)).generate()
+
+
+def make_system(world, root, faults=None, retry=None) -> EGLSystem:
+    obs = Observability(clock=ManualClock())
+    return EGLSystem(
+        world, fast_config(), artifact_root=root, obs=obs,
+        retry_policy=retry or RetryPolicy(clock=obs.clock, seed=1),
+        faults=faults,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(chaos_world, chaos_events, tmp_path_factory):
+    """One uninterrupted refresh: the digests every chaos run must match."""
+    system = make_system(chaos_world, tmp_path_factory.mktemp("baseline"))
+    report = system.weekly_refresh(chaos_events)
+    return {
+        "artifact_digest": report.artifact_digest,
+        "stage_digests": dict(system.pipeline.weekly_runs[-1].stage_digests),
+    }
+
+
+@pytest.mark.parametrize("kill_stage", WEEKLY_STAGES)
+def test_kill_after_each_stage_resumes_byte_identical(
+    kill_stage, chaos_world, chaos_events, baseline, tmp_path
+):
+    faults = FaultInjector(seed=0)
+    faults.fail_at(f"pipeline.{kill_stage}", 1, exception=InjectedCrash)
+    crashed = make_system(chaos_world, tmp_path, faults=faults)
+    with pytest.raises(InjectedCrash):
+        crashed.weekly_refresh(chaos_events)
+
+    # The kill seam fires after the stage commits, so everything up to and
+    # including the killed stage survived on disk.
+    completed = crashed.registry.checkpoints.completed_stages("weekly-0000")
+    expected = WEEKLY_STAGES[: WEEKLY_STAGES.index(kill_stage) + 1]
+    assert completed == expected
+
+    # A fresh system over the same root models the restarted process.
+    resumed = make_system(chaos_world, tmp_path)
+    report = resumed.weekly_refresh(chaos_events, resume=True)
+    assert report.resumed_stages == expected
+    assert report.artifact_digest == baseline["artifact_digest"]
+    assert (
+        resumed.pipeline.weekly_runs[-1].stage_digests == baseline["stage_digests"]
+    )
+
+
+def test_resume_without_checkpoints_runs_from_scratch(
+    chaos_world, chaos_events, baseline, tmp_path
+):
+    system = make_system(chaos_world, tmp_path)
+    report = system.weekly_refresh(chaos_events, resume=True)
+    assert report.resumed_stages == []
+    assert report.artifact_digest == baseline["artifact_digest"]
+
+
+def test_thirty_percent_storage_errors_complete_via_retries(
+    chaos_world, chaos_events, baseline, tmp_path
+):
+    faults = FaultInjector(seed=6)
+    for seam in ("registry.write", "registry.read", "checkpoint.write"):
+        faults.configure(seam, error_rate=0.3)
+    obs = Observability(clock=ManualClock())
+    retry = RetryPolicy(max_attempts=6, clock=obs.clock, seed=2)
+    system = EGLSystem(
+        chaos_world, fast_config(), artifact_root=tmp_path, obs=obs,
+        retry_policy=retry, faults=faults,
+    )
+
+    report = system.weekly_refresh(chaos_events)
+
+    # Faults really fired, retries really absorbed them, and the result is
+    # still byte-identical to the clean run.
+    assert sum(faults.failures(s) for s in faults.snapshot()) > 0
+    assert report.artifact_digest == baseline["artifact_digest"]
+    retries = sum(
+        series["value"]
+        for series in system.obs.metrics.snapshot()["counters"][
+            "resilience_retries_total"
+        ]
+    )
+    assert retries > 0
+    assert obs.clock.perf() > 0  # backoff waited on the (manual) clock
+
+
+def test_ensemble_stage_checkpoint_and_resume(chaos_world, chaos_events, tmp_path):
+    # Clean two-week run: the reference ensemble digest.
+    clean = make_system(chaos_world, tmp_path / "clean")
+    clean.weekly_refresh(chaos_events)
+    clean.weekly_refresh(chaos_events)
+    reference = clean.pipeline.weekly_runs[-1].stage_digests["ensemble"]
+
+    # Killed run: week 1's crash lands right after the ensemble commits.
+    faults = FaultInjector(seed=0)
+    faults.fail_at("pipeline.ensemble", 1, exception=InjectedCrash)
+    crashed = make_system(chaos_world, tmp_path / "crashed", faults=faults)
+    crashed.weekly_refresh(chaos_events)
+    with pytest.raises(InjectedCrash):
+        crashed.weekly_refresh(chaos_events)
+    assert crashed.pipeline.ensemble is not None  # trained before the kill
+
+    crashed.pipeline.ensemble = None
+    ensemble = crashed.pipeline.train_ensemble(run_id="weekly-0001", resume=True)
+    assert ensemble is crashed.pipeline.ensemble
+    run = crashed.pipeline.weekly_runs[-1]
+    assert "ensemble" in run.resumed_stages
+    assert run.stage_digests["ensemble"] == reference
+
+
+def test_report_carries_run_identity(chaos_world, chaos_events, tmp_path):
+    system = make_system(chaos_world, tmp_path)
+    report = system.weekly_refresh(chaos_events)
+    assert report.run_id == "weekly-0000"
+    assert report.artifact_digest == graph_digest(
+        system.pipeline.weekly_runs[-1].ranked_graph
+    )
+    assert set(system.pipeline.weekly_runs[-1].stage_digests) == set(WEEKLY_STAGES)

@@ -113,3 +113,66 @@ class TestServeCommand:
         # Drift verdicts from the refresh swaps are summarised too.
         assert "runtime health:" in out
         assert "=== /metrics ===" in out
+
+
+class TestRefreshCommand:
+    def test_kill_resume_matches_clean_digest(self, tmp_path, capsys):
+        base = ["refresh", "--entities", "60", "--users", "40", "--seed", "3"]
+
+        # Killed right after the candidates stage checkpoints: exit 3.
+        code = main(
+            base + ["--artifact-root", str(tmp_path / "a"),
+                    "--kill-after", "candidates"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "refresh interrupted" in captured.err
+        assert "cooccurrence, candidates" in captured.err
+        assert "--resume" in captured.err
+
+        # A second process resumes the surviving checkpoints: exit 0.
+        code = main(base + ["--artifact-root", str(tmp_path / "a"), "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed stages: cooccurrence, candidates" in out
+        resumed_digest = out.split("artifact digest: ")[1].split()[0]
+
+        # An uninterrupted run in a fresh root lands on the same bytes.
+        code = main(base + ["--artifact-root", str(tmp_path / "b")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed stages" not in out
+        clean_digest = out.split("artifact digest: ")[1].split()[0]
+        assert resumed_digest == clean_digest
+
+
+class TestRollbackCommand:
+    def test_rolls_back_to_previous_generation(self, capsys):
+        code = main(
+            ["rollback", "--entities", "60", "--users", "40",
+             "--seed", "3", "--refreshes", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rolled back graph: v2 -> v1" in out
+
+    def test_nothing_to_roll_back_exits_5(self, capsys):
+        code = main(
+            ["rollback", "--entities", "60", "--users", "40",
+             "--seed", "3", "--refreshes", "1"]
+        )
+        assert code == 5
+        assert "nothing to roll back" in capsys.readouterr().err
+
+    def test_bad_refreshes_is_usage_error(self, capsys):
+        assert main(["rollback", "--refreshes", "0"]) == 2
+
+
+class TestServeDegradedStatus:
+    def test_healthy_status_line(self, capsys):
+        code = main(
+            ["serve", "--entities", "60", "--users", "40",
+             "--seed", "3", "--requests", "2", "--k", "5"]
+        )
+        assert code == 0
+        assert "status: healthy (all circuit breakers closed)" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Registry crash safety: atomic writes, checksum proofs, quarantine.
+
+The regression this file pins down: a truncated or bit-flipped artifact on
+disk must be *quarantined* — moved aside, its record dropped, the previous
+generation resolving again — never served and never allowed to crash
+startup.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptArtifactError, StorageError
+from repro.preference.store import PreferenceStore
+from repro.resilience import FaultInjector, InjectedFault, atomic_write_bytes
+from repro.serving import KIND_PREFERENCES, ArtifactRegistry
+from repro.serving.registry import MANIFEST_NAME, QUARANTINE_DIR
+from repro.text.sequence_extractor import UserEntitySequence
+
+
+def built_preferences(num_users=6, num_entities=10, seed=0) -> PreferenceStore:
+    rng = np.random.default_rng(seed)
+    embeddings = rng.normal(size=(num_entities, 4))
+    sequences = {
+        u: UserEntitySequence(u, list(rng.integers(0, num_entities, size=5)))
+        for u in range(num_users)
+    }
+    return PreferenceStore(embeddings, head_size=4).build(sequences, num_users)
+
+
+class TestAtomicWrites:
+    def test_atomic_write_replaces_not_appends(self, tmp_path):
+        path = tmp_path / "file.bin"
+        atomic_write_bytes(path, b"first version, longer payload")
+        atomic_write_bytes(path, b"second")
+        assert path.read_bytes() == b"second"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "file.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["file.bin"]
+
+    def test_publish_records_checksum(self, tmp_path):
+        registry = ArtifactRegistry(root=tmp_path)
+        record = registry.publish_preferences(built_preferences())
+        assert record.source == "file"
+        assert record.checksum is not None and len(record.checksum) == 64
+        # No torn temp preference files linger after the atomic rename.
+        assert not list(tmp_path.glob(".tmp-preferences-*"))
+
+    def test_manifest_survives_restart(self, tmp_path):
+        first = ArtifactRegistry(root=tmp_path)
+        record = first.publish_preferences(built_preferences(), tag="daily-x")
+        reopened = ArtifactRegistry(root=tmp_path)
+        latest = reopened.latest(KIND_PREFERENCES)
+        assert latest == record
+        loaded = reopened.open_preferences()
+        assert loaded.version_tag == "daily-x"
+
+
+class TestQuarantine:
+    def test_truncated_artifact_is_quarantined_not_served(self, tmp_path):
+        registry = ArtifactRegistry(root=tmp_path)
+        good = registry.publish_preferences(built_preferences(seed=1), tag="good")
+        bad = registry.publish_preferences(built_preferences(seed=2), tag="bad")
+        bad_path = tmp_path / f"preferences-{bad.version:06d}.npz"
+        bad_path.write_bytes(bad_path.read_bytes()[:-50])  # torn write
+
+        with pytest.raises(CorruptArtifactError):
+            registry.open_preferences(bad.version)
+
+        # The file moved to quarantine/, the record dropped, and latest()
+        # falls back to the previous good generation.
+        assert (tmp_path / QUARANTINE_DIR / bad_path.name).exists()
+        assert not bad_path.exists()
+        assert registry.latest(KIND_PREFERENCES).version == good.version
+        assert registry.open_preferences().version_tag == "good"
+        assert registry.quarantined[-1]["reason"].startswith("checksum mismatch")
+
+    def test_corrupt_artifact_detected_at_startup(self, tmp_path):
+        first = ArtifactRegistry(root=tmp_path)
+        good = first.publish_preferences(built_preferences(seed=1), tag="good")
+        bad = first.publish_preferences(built_preferences(seed=2), tag="bad")
+        bad_path = tmp_path / f"preferences-{bad.version:06d}.npz"
+        data = bytearray(bad_path.read_bytes())
+        data[100] ^= 0xFF
+        bad_path.write_bytes(bytes(data))
+
+        reopened = ArtifactRegistry(root=tmp_path)  # must not raise
+        assert reopened.latest(KIND_PREFERENCES).version == good.version
+        assert len(reopened.quarantined) == 1
+        assert (tmp_path / QUARANTINE_DIR / bad_path.name).exists()
+
+    def test_missing_artifact_file_quarantined_at_startup(self, tmp_path):
+        first = ArtifactRegistry(root=tmp_path)
+        record = first.publish_preferences(built_preferences())
+        (tmp_path / f"preferences-{record.version:06d}.npz").unlink()
+
+        reopened = ArtifactRegistry(root=tmp_path)
+        assert reopened.latest(KIND_PREFERENCES) is None
+        assert reopened.quarantined[-1]["reason"] == "artifact file missing"
+
+    def test_torn_manifest_does_not_crash_startup(self, tmp_path):
+        first = ArtifactRegistry(root=tmp_path)
+        first.publish_preferences(built_preferences())
+        (tmp_path / MANIFEST_NAME).write_text("{torn", encoding="utf-8")
+
+        reopened = ArtifactRegistry(root=tmp_path)
+        assert reopened.latest(KIND_PREFERENCES) is None
+        assert reopened.quarantined[-1]["reason"] == "unparseable registry manifest"
+
+    def test_torn_drift_report_is_skipped(self, tmp_path):
+        first = ArtifactRegistry(root=tmp_path)
+        (tmp_path / "drift-graph-000002.json").write_text("]broken", encoding="utf-8")
+        reopened = ArtifactRegistry(root=tmp_path)
+        assert reopened.drift_reports() == []
+        assert reopened.quarantined[-1]["reason"] == "unparseable drift report"
+
+
+class TestFaultSeams:
+    def test_failed_manifest_write_rolls_back_the_record(self, tmp_path):
+        faults = FaultInjector()
+        registry = ArtifactRegistry(root=tmp_path, faults=faults)
+        registry.publish_preferences(built_preferences(seed=1))
+
+        # publish checks registry.write once up front and once in
+        # _save_manifest; fail only the manifest write.
+        faults.fail_at(
+            "registry.write", faults.calls("registry.write") + 2,
+            exception=InjectedFault,
+        )
+        with pytest.raises(InjectedFault):
+            registry.publish_preferences(built_preferences(seed=2))
+
+        # The half-published record must not linger: the retry re-publishes
+        # under the same next version, and the durable manifest agrees.
+        assert registry.latest(KIND_PREFERENCES).version == 1
+        record = registry.publish_preferences(built_preferences(seed=2))
+        assert record.version == 2
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text(encoding="utf-8"))
+        versions = [r["version"] for r in manifest["records"][KIND_PREFERENCES]]
+        assert versions == [1, 2]
+
+    def test_read_seam_fires_on_open(self, tmp_path):
+        faults = FaultInjector()
+        registry = ArtifactRegistry(root=tmp_path, faults=faults)
+        registry.publish_preferences(built_preferences())
+        faults.fail_next("registry.read", 1)
+        with pytest.raises(InjectedFault):
+            registry.open_preferences()
+        assert registry.open_preferences() is not None  # next attempt heals
+
+
+class TestUnboundStore:
+    def test_store_record_without_bound_store_raises_storage_error(self, tmp_path):
+        first = ArtifactRegistry(root=tmp_path)
+        from repro.graph import GraphStore
+
+        store = GraphStore(tmp_path / "gs", num_nodes=6)
+        store.put_edges([(0, 1)], weights=[0.5])
+        store.commit_version("w0")
+        first.publish_graph(store)
+
+        reopened = ArtifactRegistry(root=tmp_path)  # store not re-bound
+        with pytest.raises(StorageError, match="not bound"):
+            reopened.open_graph()

@@ -1,0 +1,153 @@
+"""CircuitBreaker: the closed → open → half-open → closed state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError, StorageError
+from repro.obs import ManualClock
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker(clock=None, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("recovery_timeout", 10.0)
+    return CircuitBreaker("test", clock=clock or ManualClock(), **kwargs)
+
+
+def test_starts_closed_and_allows():
+    breaker = make_breaker()
+    assert breaker.state == CLOSED
+    assert breaker.allow_request()
+
+
+def test_trips_after_consecutive_failures():
+    breaker = make_breaker(failure_threshold=3)
+    for _ in range(2):
+        breaker.record_failure(StorageError("x"))
+        assert breaker.state == CLOSED
+    breaker.record_failure(StorageError("final straw"))
+    assert breaker.state == OPEN
+    assert not breaker.allow_request()
+    with pytest.raises(CircuitOpenError) as excinfo:
+        breaker.allow()
+    assert "final straw" in str(excinfo.value)
+
+
+def test_success_resets_the_failure_streak():
+    breaker = make_breaker(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()  # streak broken
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_open_promotes_to_half_open_after_recovery_timeout():
+    clock = ManualClock()
+    breaker = make_breaker(clock=clock, failure_threshold=1, recovery_timeout=30.0)
+    breaker.record_failure(StorageError("x"))
+    assert breaker.state == OPEN
+    clock.advance(29.0)
+    assert breaker.state == OPEN
+    clock.advance(1.0)
+    assert breaker.state == HALF_OPEN
+
+
+def test_half_open_limits_trial_calls():
+    clock = ManualClock()
+    breaker = make_breaker(
+        clock=clock, failure_threshold=1, recovery_timeout=5.0, half_open_max_calls=1
+    )
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow_request()  # the one trial slot
+    assert not breaker.allow_request()  # second concurrent probe rejected
+
+
+def test_half_open_success_closes():
+    clock = ManualClock()
+    breaker = make_breaker(clock=clock, failure_threshold=1, recovery_timeout=5.0)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow_request()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.snapshot()["consecutive_failures"] == 0
+
+
+def test_half_open_failure_reopens_and_restarts_timeout():
+    clock = ManualClock()
+    breaker = make_breaker(clock=clock, failure_threshold=1, recovery_timeout=5.0)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow_request()
+    breaker.record_failure(StorageError("still down"))
+    assert breaker.state == OPEN
+    clock.advance(4.0)
+    assert breaker.state == OPEN  # fresh timeout from the re-open
+    clock.advance(1.0)
+    assert breaker.state == HALF_OPEN
+
+
+def test_call_wrapper_records_outcomes():
+    breaker = make_breaker(failure_threshold=2)
+    assert breaker.call(lambda: "ok") == "ok"
+
+    def boom():
+        raise StorageError("x")
+
+    for _ in range(2):
+        with pytest.raises(StorageError):
+            breaker.call(boom)
+    assert breaker.state == OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "never runs")
+
+
+def test_transition_callback_sequence():
+    clock = ManualClock()
+    transitions = []
+    breaker = CircuitBreaker(
+        "cb", failure_threshold=1, recovery_timeout=5.0, clock=clock,
+        on_transition=lambda name, old, new: transitions.append((name, old, new)),
+    )
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow_request()
+    breaker.record_success()
+    assert transitions == [
+        ("cb", CLOSED, OPEN),
+        ("cb", OPEN, HALF_OPEN),
+        ("cb", HALF_OPEN, CLOSED),
+    ]
+
+
+def test_snapshot_reports_durable_facts():
+    clock = ManualClock()
+    breaker = make_breaker(clock=clock, failure_threshold=1)
+    breaker.record_failure(StorageError("why"))
+    breaker.allow_request()  # rejected
+    snap = breaker.snapshot()
+    assert snap["state"] == OPEN
+    assert snap["trip_count"] == 1
+    assert snap["rejected_calls"] == 1
+    assert snap["last_error"] == "why"
+    assert snap["opened_at"] is not None
+
+
+def test_reset_force_closes():
+    breaker = make_breaker(failure_threshold=1)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    breaker.reset()
+    assert breaker.state == CLOSED
+    assert breaker.allow_request()
+
+
+def test_invalid_thresholds_rejected():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(half_open_max_calls=0)

@@ -1,0 +1,58 @@
+"""Deadline: absolute budgets on the injectable monotonic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.obs import ManualClock
+from repro.resilience import Deadline
+
+
+def test_fresh_deadline_has_full_budget():
+    clock = ManualClock()
+    deadline = Deadline.after(1.5, clock=clock)
+    assert deadline.remaining() == pytest.approx(1.5)
+    assert not deadline.expired
+    deadline.check("expand")  # no raise
+
+
+def test_expires_exactly_when_the_clock_says():
+    clock = ManualClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    clock.advance(0.999)
+    assert not deadline.expired
+    clock.advance(0.001)
+    assert deadline.expired
+    assert deadline.remaining() == pytest.approx(0.0)
+
+
+def test_check_raises_with_overrun_and_budget():
+    clock = ManualClock()
+    deadline = Deadline.after(0.5, clock=clock)
+    clock.advance(0.75)
+    with pytest.raises(DeadlineExceededError) as excinfo:
+        deadline.check("target")
+    message = str(excinfo.value)
+    assert "target" in message
+    assert "250.0 ms" in message  # overrun
+    assert "budget 500 ms" in message
+
+
+def test_non_positive_timeout_rejected():
+    with pytest.raises(ValueError):
+        Deadline.after(0.0, clock=ManualClock())
+    with pytest.raises(ValueError):
+        Deadline.after(-1.0, clock=ManualClock())
+
+
+def test_shared_deadline_spans_phases():
+    # One budget across expand + target: the second phase sees what the
+    # first phase spent.
+    clock = ManualClock()
+    deadline = Deadline.after(1.0, clock=clock)
+    clock.advance(0.6)  # expansion cost
+    deadline.check("expand")
+    clock.advance(0.6)  # scoring cost pushes past the budget
+    with pytest.raises(DeadlineExceededError):
+        deadline.check("target")

@@ -1,0 +1,149 @@
+"""RetryPolicy: backoff shape, seeded jitter, retryable classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, CorruptArtifactError, StorageError
+from repro.obs import ManualClock
+from repro.resilience import InjectedFault, RetryPolicy
+
+
+def test_succeeds_first_try_without_sleeping():
+    clock = ManualClock()
+    policy = RetryPolicy(clock=clock)
+    assert policy.call(lambda: 42) == 42
+    assert clock.perf() == 0.0
+
+
+def test_retries_transient_failures_then_succeeds():
+    clock = ManualClock()
+    policy = RetryPolicy(max_attempts=4, clock=clock)
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise StorageError("disk hiccup")
+        return "ok"
+
+    assert policy.call(flaky) == "ok"
+    assert len(attempts) == 3
+    assert clock.perf() > 0.0  # two backoffs elapsed on the manual clock
+
+
+def test_exhausted_policy_reraises_final_error_unchanged():
+    policy = RetryPolicy(max_attempts=3, clock=ManualClock())
+    boom = StorageError("still broken")
+
+    def always_fails():
+        raise boom
+
+    with pytest.raises(StorageError) as excinfo:
+        policy.call(always_fails)
+    assert excinfo.value is boom
+
+
+def test_non_retryable_surfaces_immediately():
+    policy = RetryPolicy(max_attempts=5, clock=ManualClock())
+    attempts = []
+
+    def corrupt():
+        attempts.append(1)
+        raise CorruptArtifactError("bit rot")
+
+    with pytest.raises(CorruptArtifactError):
+        policy.call(corrupt)
+    assert len(attempts) == 1  # CorruptArtifactError is StorageError but excluded
+
+
+def test_unrelated_exceptions_are_never_retried():
+    policy = RetryPolicy(max_attempts=5, clock=ManualClock())
+    attempts = []
+
+    def misuse():
+        attempts.append(1)
+        raise ConfigError("caller bug")
+
+    with pytest.raises(ConfigError):
+        policy.call(misuse)
+    assert len(attempts) == 1
+
+
+def test_injected_fault_is_retryable_by_default():
+    policy = RetryPolicy(clock=ManualClock())
+    assert policy.is_retryable(InjectedFault("x"))
+    assert not policy.is_retryable(CorruptArtifactError("x"))
+
+
+def test_delay_sequence_is_capped_exponential():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.3,
+        jitter=0.0, clock=ManualClock(),
+    )
+    assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.3, 0.3])
+
+
+def test_jitter_is_seeded_and_reproducible():
+    a = RetryPolicy(max_attempts=6, seed=11, clock=ManualClock())
+    b = RetryPolicy(max_attempts=6, seed=11, clock=ManualClock())
+    assert list(a.delays()) == list(b.delays())
+
+    c = RetryPolicy(max_attempts=6, seed=12, clock=ManualClock())
+    assert list(a.delays()) != list(c.delays())  # fresh draws differ by seed
+
+    a.reset()
+    b.reset()
+    assert list(a.delays()) == list(b.delays())
+
+
+def test_jitter_stays_within_band():
+    policy = RetryPolicy(
+        max_attempts=50, base_delay=1.0, multiplier=1.0, max_delay=1.0,
+        jitter=0.25, clock=ManualClock(),
+    )
+    for delay in policy.delays():
+        assert 0.75 <= delay <= 1.25
+
+
+def test_on_retry_hook_sees_seam_attempt_and_error():
+    clock = ManualClock()
+    seen = []
+    policy = RetryPolicy(
+        max_attempts=3, clock=clock,
+        on_retry=lambda seam, attempt, error: seen.append((seam, attempt, str(error))),
+    )
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise StorageError(f"fail {len(calls)}")
+        return "ok"
+
+    policy.call(flaky, seam="registry.write")
+    assert seen == [("registry.write", 1, "fail 1"), ("registry.write", 2, "fail 2")]
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+
+
+def test_backoff_sleeps_exact_manual_time():
+    clock = ManualClock()
+    policy = RetryPolicy(
+        max_attempts=3, base_delay=0.5, multiplier=2.0, jitter=0.0, clock=clock
+    )
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise StorageError("x")
+        return "ok"
+
+    policy.call(flaky)
+    assert clock.perf() == pytest.approx(0.5 + 1.0)
