@@ -1,0 +1,199 @@
+"""CSR substrate benchmark: cold k-hop expansion, adjacency dict vs CSR.
+
+Gates the zero-copy artifact refactor:
+
+* cold k-hop expansion over the memmapped CSR artifact must be >= 10x
+  faster than the legacy adjacency-dict path at >= 1e5 edges (the dict
+  path pays a full Python adjacency rebuild plus a per-node dict walk;
+  the CSR path is an O(1) remap plus a vectorized frontier sweep);
+* the two paths must return byte-identical expansions (same hops, same
+  scores, same parents) — speed without parity doesn't count;
+* generation hot-swap is a remap, not a copy: opening a CSR artifact 8x
+  larger must not cost proportionally more (near-constant swap latency).
+
+Smoke mode (``BENCH_CSR_SMOKE=1``, used as the CI regression gate) runs
+the same checks on a ~2e4-edge world with a relaxed 5x threshold.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.graph import CSRGraph, GraphStore
+from repro.graph.khop import k_hop_expansion
+
+from bench_common import format_table, save_result
+
+SMOKE = os.environ.get("BENCH_CSR_SMOKE", "") not in ("", "0")
+NUM_NODES = 4_000 if SMOKE else 40_000
+NUM_EDGES = 20_000 if SMOKE else 150_000
+MIN_SPEEDUP = 5.0 if SMOKE else 10.0
+#: Swap latency may wobble (filesystem cache, allocator), but an 8x bigger
+#: artifact must stay well under 8x slower to open — it's a remap.
+MAX_SWAP_RATIO = 5.0
+SEED_SETS = 5
+DEPTH = 2
+
+
+def _random_edges(num_nodes: int, num_edges: int, rng: np.random.Generator):
+    """Unique undirected edges with float32-representable weights."""
+    pairs: dict[tuple[int, int], float] = {}
+    while len(pairs) < num_edges:
+        need = num_edges - len(pairs)
+        src = rng.integers(0, num_nodes, size=2 * need)
+        dst = rng.integers(0, num_nodes, size=2 * need)
+        ws = rng.uniform(0.05, 1.0, size=2 * need).astype(np.float32)
+        keep = src != dst
+        for u, v, w in zip(src[keep], dst[keep], ws[keep]):
+            pairs.setdefault((min(int(u), int(v)), max(int(u), int(v))), float(w))
+            if len(pairs) == num_edges:
+                break
+    edges = sorted(pairs)
+    weights = [pairs[e] for e in edges]
+    return edges, weights
+
+
+def _expansion_key(result):
+    return (result.seeds, result.hops, result.scores, result.parents)
+
+
+def _build_store(root, num_nodes: int, num_edges: int, seed: int) -> int:
+    edges, weights = _random_edges(num_nodes, num_edges, np.random.default_rng(seed))
+    store = GraphStore(root, num_nodes=num_nodes)
+    store.put_edges(edges, weights)
+    return store.commit_version(tag="bench")
+
+
+def run_bench() -> dict:
+    root = tempfile.mkdtemp(prefix="bench-csr-")
+    try:
+        return _run_bench(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _run_bench(root: str) -> dict:
+    store_path = os.path.join(root, "store")
+    version = _build_store(store_path, NUM_NODES, NUM_EDGES, seed=7)
+    rng = np.random.default_rng(11)
+    seed_sets = [sorted(rng.choice(NUM_NODES, size=3, replace=False).tolist())
+                 for _ in range(SEED_SETS)]
+
+    rows = []
+    dict_s, csr_s = [], []
+    for seeds in seed_sets:
+        # Cold dict path: a fresh store instance models a fresh process —
+        # the snapshot load and Python adjacency build are paid inside the
+        # timed region, exactly as a pre-refactor cold start would.
+        start = time.perf_counter()
+        reader = GraphStore(store_path).snapshot_reader(version, use_csr=False)
+        legacy = k_hop_expansion(reader, seeds, DEPTH)
+        dict_elapsed = time.perf_counter() - start
+
+        # Cold CSR path: open (remap) the frozen artifact, then the
+        # vectorized frontier sweep.
+        start = time.perf_counter()
+        csr = CSRGraph.load(GraphStore(store_path).csr_path(version))
+        vectorized = k_hop_expansion(csr, seeds, DEPTH)
+        csr_elapsed = time.perf_counter() - start
+
+        # Parity: speed only counts if the expansion is identical.
+        assert _expansion_key(legacy) == _expansion_key(vectorized)
+
+        dict_s.append(dict_elapsed)
+        csr_s.append(csr_elapsed)
+        rows.append({
+            "seeds": seeds,
+            "expanded": len(vectorized.scores),
+            "dict_ms": dict_elapsed * 1000,
+            "csr_ms": csr_elapsed * 1000,
+            "speedup": dict_elapsed / max(csr_elapsed, 1e-12),
+        })
+
+    speedup = float(np.sum(dict_s) / max(np.sum(csr_s), 1e-12))
+
+    # Swap latency: activating a generation = opening (remapping) its CSR
+    # artifact. An 8x larger artifact must open in near-constant time.
+    small_dir = os.path.join(root, "swap-small")
+    large_dir = os.path.join(root, "swap-large")
+    small_edges = max(1_000, NUM_EDGES // 8)
+    for directory, num_edges, seed in (
+        (small_dir, small_edges, 21), (large_dir, 8 * small_edges, 22)
+    ):
+        edges, weights = _random_edges(
+            NUM_NODES, num_edges, np.random.default_rng(seed)
+        )
+        lo = np.array([e[0] for e in edges], dtype=np.int64)
+        hi = np.array([e[1] for e in edges], dtype=np.int64)
+        CSRGraph.from_edges(
+            NUM_NODES, (lo, hi), np.asarray(weights),
+            np.zeros(len(edges), dtype=np.int64),
+        ).save(directory)
+
+    def open_ms(directory: str) -> float:
+        samples = []
+        for _ in range(20):
+            start = time.perf_counter()
+            CSRGraph.load(directory)
+            samples.append(time.perf_counter() - start)
+        return float(np.median(samples)) * 1000
+
+    small_ms, large_ms = open_ms(small_dir), open_ms(large_dir)
+    swap_ratio = large_ms / max(small_ms, 1e-9)
+
+    return {
+        "mode": "smoke" if SMOKE else "full",
+        "num_nodes": NUM_NODES,
+        "num_edges": NUM_EDGES,
+        "depth": DEPTH,
+        "per_seed_set": rows,
+        "dict_ms_total": float(np.sum(dict_s)) * 1000,
+        "csr_ms_total": float(np.sum(csr_s)) * 1000,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "swap_small_edges": small_edges,
+        "swap_large_edges": 8 * small_edges,
+        "swap_small_ms": small_ms,
+        "swap_large_ms": large_ms,
+        "swap_ratio": swap_ratio,
+    }
+
+
+def test_csr_expand_speedup(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    rows = [
+        [
+            ",".join(map(str, r["seeds"])),
+            r["expanded"],
+            f"{r['dict_ms']:.1f}",
+            f"{r['csr_ms']:.2f}",
+            f"{r['speedup']:.0f}x",
+        ]
+        for r in payload["per_seed_set"]
+    ]
+    text = format_table(
+        f"CSR substrate — cold {payload['depth']}-hop expansion, "
+        f"{payload['num_edges']} edges ({payload['mode']} mode)",
+        ["seeds", "expanded", "dict ms", "csr ms", "speedup"],
+        rows,
+    )
+    text += (
+        f"\noverall: dict {payload['dict_ms_total']:.1f} ms vs CSR "
+        f"{payload['csr_ms_total']:.2f} ms ({payload['speedup']:.0f}x, "
+        f"gate >= {payload['min_speedup']:.0f}x).\n"
+        f"swap (open/remap) latency: {payload['swap_small_edges']} edges "
+        f"{payload['swap_small_ms']:.3f} ms vs {payload['swap_large_edges']} "
+        f"edges {payload['swap_large_ms']:.3f} ms "
+        f"(ratio {payload['swap_ratio']:.2f}, gate < {MAX_SWAP_RATIO:.0f}).\n"
+    )
+    save_result("csr_expand", payload, text)
+
+    # Acceptance gates from the CSR substrate refactor.
+    assert payload["speedup"] >= MIN_SPEEDUP
+    assert payload["swap_ratio"] < MAX_SWAP_RATIO

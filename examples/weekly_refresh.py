@@ -65,10 +65,11 @@ def main() -> None:
     for kind in ("graph", "preferences"):
         for record in system.registry.records(kind):
             print(f"  [{record.kind}] v{record.version}  tag {record.tag}  "
-                  f"source {record.source}")
+                  f"source {record.source}  format {record.format}")
     reader = system.store.snapshot_reader()  # pinned to the latest version
     print(f"online stage serves pinned snapshot v{reader.version} "
-          f"({reader.num_edges} relations)")
+          f"({reader.num_edges} relations, {reader.artifact_format} artifact — "
+          f"generations swap by remapping, not copying)")
 
 
 if __name__ == "__main__":

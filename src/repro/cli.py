@@ -236,10 +236,10 @@ def cmd_serve(args) -> int:
     report = system.weekly_refresh(events)
     system.daily_preference_refresh(events)
     versions = system.runtime.versions()
-    print(f"  graph artifact    v{versions['graph_version']} ({versions['graph_tag']}), "
-          f"{report.num_relations} relations")
+    print(f"  graph artifact    v{versions['graph_version']} ({versions['graph_tag']}, "
+          f"format {versions['graph_format']}), {report.num_relations} relations")
     print(f"  preference artifact v{versions['preference_version']} "
-          f"({versions['preference_tag']})")
+          f"({versions['preference_tag']}, format {versions['preference_format']})")
 
     service = EGLService(system)
     popular = sorted(world.entities, key=lambda e: -e.popularity)
@@ -377,7 +377,8 @@ def cmd_refresh(args) -> int:
         return 3
 
     print(f"refresh {report.run_id}: week {report.week}, "
-          f"graph v{report.graph_version}, {report.num_relations} relations")
+          f"graph v{report.graph_version} ({report.graph_format}), "
+          f"{report.num_relations} relations")
     if report.resumed_stages:
         print(f"  resumed stages: {', '.join(report.resumed_stages)}")
     print(f"  artifact digest: {report.artifact_digest}")

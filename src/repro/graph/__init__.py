@@ -9,6 +9,7 @@ from repro.graph.entity_graph import (
     RELATION_SEMANTIC,
     EntityGraph,
 )
+from repro.graph.csr import CSR_FORMAT, CSRGraph, csr_meta_digest
 from repro.graph.khop import ExpansionResult, k_hop_expansion, k_hop_subgraph
 from repro.graph.sampling import (
     AliasSampler,
@@ -21,6 +22,9 @@ from repro.graph.storage import GraphStore, SnapshotReader
 from repro.graph.metrics import GraphSummary, connected_components, degree_histogram, local_clustering, mean_clustering, summarize_graph
 
 __all__ = [
+    "CSR_FORMAT",
+    "CSRGraph",
+    "csr_meta_digest",
     "EntityGraph",
     "ExpansionResult",
     "k_hop_expansion",

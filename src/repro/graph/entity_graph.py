@@ -159,6 +159,14 @@ class EntityGraph:
         lo, hi = self.indptr[node], self.indptr[node + 1]
         return self._adj_relation[lo:hi]
 
+    def csr_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(offsets, neighbors, weights)`` for vectorized bulk kernels.
+
+        Same protocol as :meth:`repro.graph.csr.CSRGraph.csr_view`; row
+        ``n`` spans ``offsets[n]:offsets[n + 1]`` of the flat arrays.
+        """
+        return self.indptr, self._adj_dst, self._adj_weight
+
     def degrees(self) -> np.ndarray:
         return np.diff(self.indptr)
 

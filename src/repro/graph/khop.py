@@ -5,6 +5,23 @@ the entity graph. Each discovered entity carries a *relevance score*: the
 best product of edge confidences along any path from a seed, so scores decay
 with depth exactly the way the paper's relevancy/diversity trade-off
 describes (§II-B: deeper expansion → more entities, lower relevance).
+
+Expansion is *hop-synchronous*: every node of a frontier expands from the
+score it held when the hop started, and all score improvements commit at
+the end of the hop. That makes the result a pure function of the graph and
+the parameters — independent of the order frontier rows are processed — and
+is what lets the vectorized CSR kernel and the pointwise fallback produce
+byte-identical :class:`ExpansionResult` contents.
+
+Two kernels implement the same semantics:
+
+* ``_expand_csr`` — a frontier-sweep over a bulk CSR view (anything with a
+  ``csr_view() -> (offsets, neighbors, weights)`` method): one gather per
+  hop, vectorized weight filter / per-row top-k / best-parent merge. This
+  is the serving hot path over memmapped :class:`~repro.graph.csr.CSRGraph`
+  artifacts.
+* ``_expand_pointwise`` — the legacy per-node walk for readers that only
+  expose ``neighbors(node)`` point reads.
 """
 
 from __future__ import annotations
@@ -39,22 +56,35 @@ class ExpansionResult:
     hops: list[list[int]]
     scores: dict[int, float]
     parents: dict[int, int] = field(default_factory=dict)
+    _seed_set: frozenset[int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _depths: dict[int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def entities(self, min_score: float = 0.0, exclude_seeds: bool = False) -> list[int]:
         """All discovered entities, best-score order, optionally filtered."""
+        if self._seed_set is None:
+            self._seed_set = frozenset(self.seeds)
+        seed_set = self._seed_set
         items = [
             (node, score)
             for node, score in self.scores.items()
-            if score >= min_score and not (exclude_seeds and node in set(self.seeds))
+            if score >= min_score and not (exclude_seeds and node in seed_set)
         ]
         items.sort(key=lambda pair: (-pair[1], pair[0]))
         return [node for node, _ in items]
 
     def depth_of(self, node: int) -> int:
-        for depth, nodes in enumerate(self.hops):
-            if node in nodes:
-                return depth
-        raise GraphError(f"entity {node} was not reached by this expansion")
+        if self._depths is None:
+            self._depths = {
+                n: depth for depth, nodes in enumerate(self.hops) for n in nodes
+            }
+        try:
+            return self._depths[node]
+        except KeyError:
+            raise GraphError(f"entity {node} was not reached by this expansion") from None
 
     def path_to(self, node: int) -> list[int]:
         """Best path seed → node (the marketer-facing explanation)."""
@@ -91,6 +121,24 @@ def k_hop_subgraph(
     return subgraph, expansion, node_ids
 
 
+def _top_k_stable(weights: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest weights, deterministically.
+
+    Equivalent to ``np.argsort(-weights, kind="stable")[:k]`` — descending
+    weight, ties broken by ascending position — but via ``argpartition``,
+    so the full-row sort is replaced by an O(n) selection plus an O(k log k)
+    sort of the winners.
+    """
+    n = len(weights)
+    if k >= n:
+        return np.argsort(-weights, kind="stable")
+    boundary = weights[np.argpartition(-weights, k - 1)[k - 1]]
+    strict = np.flatnonzero(weights > boundary)
+    ties = np.flatnonzero(weights == boundary)
+    chosen = np.concatenate([strict, ties[: k - len(strict)]])
+    return chosen[np.argsort(-weights[chosen], kind="stable")]
+
+
 def k_hop_expansion(
     graph: EntityGraph,
     seeds: list[int],
@@ -104,9 +152,12 @@ def k_hop_expansion(
     Parameters
     ----------
     graph:
-        The mined entity graph — anything exposing ``num_nodes`` and an
+        The mined entity graph — anything exposing ``num_nodes`` and a
         ``neighbors(node) -> (ids, weights)`` point read works, including
-        a pinned :class:`~repro.graph.storage.SnapshotReader`.
+        a pinned :class:`~repro.graph.storage.SnapshotReader`. Readers that
+        additionally expose ``csr_view()`` (:class:`EntityGraph`,
+        :class:`~repro.graph.csr.CSRGraph`, CSR-backed snapshot readers)
+        are served by the vectorized frontier-sweep kernel.
     seeds:
         Seed entity ids (deduplicated, order preserved).
     depth:
@@ -115,7 +166,8 @@ def k_hop_expansion(
         Edges below this confidence are ignored.
     max_neighbors_per_node:
         If set, only each node's strongest ``k`` edges are followed —
-        keeps the frontier tractable on hub entities.
+        keeps the frontier tractable on hub entities. Edges of a capped
+        row are processed strongest-first (ties by adjacency position).
     max_nodes:
         Hard budget on total discovered entities — the serving runtime's
         per-request guardrail. Once reached, no new nodes are admitted
@@ -125,31 +177,51 @@ def k_hop_expansion(
         raise GraphError("depth must be non-negative")
     if max_nodes is not None and max_nodes < 1:
         raise GraphError("max_nodes must be >= 1")
-    seen: dict[int, float] = {}
-    parents: dict[int, int] = {}
     ordered_seeds: list[int] = []
+    seed_set: set[int] = set()
     for s in seeds:
         s = int(s)
         if not 0 <= s < graph.num_nodes:
             raise GraphError(f"seed {s} out of range")
-        if s not in seen:
-            seen[s] = 1.0
-            parents[s] = s
+        if s not in seed_set:
+            seed_set.add(s)
             ordered_seeds.append(s)
 
+    if hasattr(graph, "csr_view"):
+        return _expand_csr(
+            graph, ordered_seeds, depth, min_edge_weight, max_neighbors_per_node, max_nodes
+        )
+    return _expand_pointwise(
+        graph, ordered_seeds, depth, min_edge_weight, max_neighbors_per_node, max_nodes
+    )
+
+
+def _expand_pointwise(
+    graph,
+    ordered_seeds: list[int],
+    depth: int,
+    min_edge_weight: float,
+    max_neighbors_per_node: int | None,
+    max_nodes: int | None,
+) -> ExpansionResult:
+    """Per-node fallback for readers exposing only point reads."""
+    seen: dict[int, float] = {s: 1.0 for s in ordered_seeds}
+    parents: dict[int, int] = {s: s for s in ordered_seeds}
     hops: list[list[int]] = [list(ordered_seeds)]
     frontier = list(ordered_seeds)
     for _ in range(depth):
+        # Hop-synchronous: every frontier node expands from the score it
+        # held when the hop started, not from mid-hop improvements.
+        bases = [seen[node] for node in frontier]
         next_frontier: list[int] = []
-        for node in frontier:
+        for node, base in zip(frontier, bases):
             nbrs, weights = graph.neighbors(node)
             if min_edge_weight > 0:
                 keep = weights >= min_edge_weight
                 nbrs, weights = nbrs[keep], weights[keep]
-            if max_neighbors_per_node is not None and len(nbrs) > max_neighbors_per_node:
-                top = np.argsort(-weights)[:max_neighbors_per_node]
+            if max_neighbors_per_node is not None:
+                top = _top_k_stable(weights, max_neighbors_per_node)
                 nbrs, weights = nbrs[top], weights[top]
-            base = seen[node]
             for nbr, w in zip(nbrs, weights):
                 nbr = int(nbr)
                 score = base * float(w)
@@ -169,3 +241,119 @@ def k_hop_expansion(
     while len(hops) < depth + 1:
         hops.append([])
     return ExpansionResult(seeds=ordered_seeds, hops=hops, scores=seen, parents=parents)
+
+
+def _expand_csr(
+    graph,
+    ordered_seeds: list[int],
+    depth: int,
+    min_edge_weight: float,
+    max_neighbors_per_node: int | None,
+    max_nodes: int | None,
+) -> ExpansionResult:
+    """Vectorized frontier sweep over a bulk ``csr_view()``.
+
+    Per hop: one gather of every frontier row, a vectorized weight filter
+    and per-row top-k, then a single lexsort-based merge that picks each
+    target's best (score, earliest-candidate) parent. Result contents are
+    identical to :func:`_expand_pointwise` over the same adjacency order.
+    """
+    offsets, adj_nbrs, adj_ws = graph.csr_view()
+    num_nodes = graph.num_nodes
+
+    score = np.zeros(num_nodes)
+    parent = np.full(num_nodes, -1, dtype=np.int64)
+    seen = np.zeros(num_nodes, dtype=bool)
+    seed_arr = np.asarray(ordered_seeds, dtype=np.int64)
+    score[seed_arr] = 1.0
+    parent[seed_arr] = seed_arr
+    seen[seed_arr] = True
+    seen_count = len(seed_arr)
+
+    hops: list[list[int]] = [list(ordered_seeds)]
+    frontier = seed_arr
+    for _ in range(depth):
+        if len(frontier) == 0:
+            break
+        starts = np.asarray(offsets[frontier], dtype=np.int64)
+        ends = np.asarray(offsets[frontier + 1], dtype=np.int64)
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            hops.append([])
+            frontier = np.empty(0, dtype=np.int64)
+            break
+        # Gather all frontier rows: rep[i] says which frontier position
+        # produced candidate i; within a row, candidates keep row order.
+        rep = np.repeat(np.arange(len(frontier)), counts)
+        row_start = np.cumsum(counts) - counts
+        edge_idx = starts[rep] + (np.arange(total) - row_start[rep])
+        nbrs = np.asarray(adj_nbrs[edge_idx], dtype=np.int64)
+        ws = np.asarray(adj_ws[edge_idx])
+
+        if min_edge_weight > 0:
+            keep = ws >= min_edge_weight
+            rep, nbrs, ws = rep[keep], nbrs[keep], ws[keep]
+        if max_neighbors_per_node is not None and len(rep):
+            # Reorder every row strongest-first (ties by position) and keep
+            # its first `cap` entries — the bulk form of _top_k_stable.
+            pos = np.arange(len(rep))
+            order = np.lexsort((pos, -ws, rep))
+            rep_sorted = rep[order]
+            row_first = np.flatnonzero(
+                np.r_[True, rep_sorted[1:] != rep_sorted[:-1]]
+            )
+            row_sizes = np.diff(np.r_[row_first, len(rep_sorted)])
+            rank = np.arange(len(rep_sorted)) - np.repeat(row_first, row_sizes)
+            order = order[rank < max_neighbors_per_node]
+            rep, nbrs, ws = rep[order], nbrs[order], ws[order]
+        if len(rep) == 0:
+            hops.append([])
+            frontier = np.empty(0, dtype=np.int64)
+            break
+
+        # Hop-synchronous bases (scores at hop start), float64 like the
+        # pointwise kernel's `base * float(w)`.
+        cand_scores = score[frontier[rep]] * ws.astype(np.float64)
+
+        # Per-target merge: best score wins, earliest candidate on ties —
+        # exactly the pointwise kernel's strictly-greater update rule.
+        merge = np.lexsort((np.arange(len(nbrs)), -cand_scores, nbrs))
+        nbrs_sorted = nbrs[merge]
+        best_mask = np.r_[True, nbrs_sorted[1:] != nbrs_sorted[:-1]]
+        best_targets = nbrs_sorted[best_mask]
+        best_scores = cand_scores[merge][best_mask]
+        best_parents = frontier[rep[merge]][best_mask]
+
+        # Admission order of new nodes = first occurrence in candidate
+        # order; the max_nodes budget truncates in that same order.
+        uniq_targets, first_occ = np.unique(nbrs, return_index=True)
+        fresh = ~seen[uniq_targets]
+        admitted = uniq_targets[fresh][np.argsort(first_occ[fresh])]
+        if max_nodes is not None:
+            admitted = admitted[: max(0, max_nodes - seen_count)]
+        admitted_mask = np.zeros(num_nodes, dtype=bool)
+        admitted_mask[admitted] = True
+
+        new_sel = admitted_mask[best_targets]
+        improve_sel = seen[best_targets] & (best_scores > score[best_targets])
+        commit = new_sel | improve_sel
+        score[best_targets[commit]] = best_scores[commit]
+        parent[best_targets[commit]] = best_parents[commit]
+        seen[admitted] = True
+        seen_count += len(admitted)
+
+        hops.append([int(n) for n in admitted])
+        frontier = admitted
+    while len(hops) < depth + 1:
+        hops.append([])
+
+    scores: dict[int, float] = {}
+    parents: dict[int, int] = {}
+    for hop_nodes in hops:
+        for node in hop_nodes:
+            scores[node] = float(score[node])
+            parents[node] = int(parent[node])
+    return ExpansionResult(
+        seeds=ordered_seeds, hops=hops, scores=scores, parents=parents
+    )

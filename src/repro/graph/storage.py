@@ -18,6 +18,7 @@ weekly batch producer / online reader split at reproduction scale.
 from __future__ import annotations
 
 import json
+import shutil
 import struct
 import zlib
 from pathlib import Path
@@ -25,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import StorageError
+from repro.graph.csr import CSRGraph
 from repro.graph.entity_graph import EntityGraph
 
 _WAL_HEADER = struct.Struct("<II")  # (payload length, crc32)
@@ -37,26 +39,55 @@ class SnapshotReader:
     """Immutable read-only view pinned to one committed version.
 
     The online stage serves from snapshot readers, never from the live
-    store: once constructed, the reader's arrays are loaded and stay frozen,
+    store: once constructed, the reader's data is pinned and stays frozen,
     so concurrent writes, later commits, and even :meth:`GraphStore.compact`
     deleting the backing file cannot change what an in-flight request sees.
     Exposes the same ``num_nodes``/``neighbors`` contract as
     :class:`~repro.graph.entity_graph.EntityGraph`, so k-hop expansion runs
     directly on it.
+
+    Versions committed since the CSR substrate landed carry a frozen
+    :class:`~repro.graph.csr.CSRGraph` artifact next to the ``.npz``
+    snapshot; the reader then serves from the memmapped CSR arrays
+    (``artifact_format == "csr"``) and additionally exposes ``csr_view()``
+    so k-hop expansion takes the vectorized kernel. Legacy snapshot-only
+    versions fall back to the dict adjacency, built lazily and shared per
+    ``(store, version)`` so pinning the same version twice does not double
+    memory.
     """
 
-    def __init__(self, store: "GraphStore", version: int) -> None:
+    def __init__(self, store: "GraphStore", version: int, use_csr: bool = True) -> None:
         self.version = version
         self.num_nodes = store.num_nodes
-        self._pairs, self._weights, self._relations = store._read_snapshot(version)
+        self._csr = store._open_csr(version) if use_csr else None
         self._adjacency: dict[int, tuple[np.ndarray, np.ndarray]] | None = None
+        if self._csr is not None:
+            self._pairs = self._weights = self._relations = None
+            self._adjacency_cache = None
+            # Instance attribute on purpose: legacy readers must NOT have
+            # csr_view, so k_hop_expansion's hasattr dispatch stays honest.
+            self.csr_view = self._csr.csr_view
+        else:
+            self._pairs, self._weights, self._relations = store._cached_snapshot(version)
+            self._adjacency_cache = store._adjacency_cache
+
+    @property
+    def artifact_format(self) -> str:
+        """``"csr"`` (memmapped artifact) or ``"snapshot"`` (legacy dict)."""
+        return "csr" if self._csr is not None else "snapshot"
 
     @property
     def num_edges(self) -> int:
+        if self._csr is not None:
+            return self._csr.num_edges
         return int(len(self._pairs))
 
     def _build_adjacency(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
         if self._adjacency is None:
+            cache = self._adjacency_cache
+            if cache is not None and self.version in cache:
+                self._adjacency = cache[self.version]
+                return self._adjacency
             nbrs: dict[int, list[tuple[int, float]]] = {}
             for (u, v), w in zip(self._pairs, self._weights):
                 nbrs.setdefault(int(u), []).append((int(v), float(w)))
@@ -68,6 +99,8 @@ class SnapshotReader:
                 )
                 for node, pairs in nbrs.items()
             }
+            if cache is not None:
+                cache[self.version] = self._adjacency
         return self._adjacency
 
     def neighbors(self, node: int) -> tuple[np.ndarray, np.ndarray]:
@@ -75,11 +108,15 @@ class SnapshotReader:
         node = int(node)
         if not 0 <= node < self.num_nodes:
             raise StorageError(f"node {node} out of range")
+        if self._csr is not None:
+            return self._csr.neighbors(node)
         empty = (np.empty(0, dtype=np.int64), np.empty(0))
         return self._build_adjacency().get(node, empty)
 
     def graph(self) -> EntityGraph:
         """Materialise the pinned version as an :class:`EntityGraph`."""
+        if self._csr is not None:
+            return self._csr.graph()
         if len(self._pairs) == 0:
             return EntityGraph(
                 self.num_nodes, np.empty(0, np.int64), np.empty(0, np.int64)
@@ -126,6 +163,13 @@ class GraphStore:
         self.num_nodes = int(self._manifest["num_nodes"])
         # memtable: canonical pair -> (weight, relation) or None for deletes
         self._memtable: dict[tuple[int, int], tuple[float, int] | None] = {}
+        # Per-version shared caches: snapshot arrays, the lazily-built dict
+        # adjacency (legacy read path), and opened memmap CSR artifacts.
+        # Shared so two readers pinning the same version reuse one copy;
+        # evicted by compact() when a version is dropped.
+        self._snapshot_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._adjacency_cache: dict[int, dict[int, tuple[np.ndarray, np.ndarray]]] = {}
+        self._csr_cache: dict[int, CSRGraph] = {}
         self._replay_wal()
 
     # ------------------------------------------------------------------
@@ -204,7 +248,10 @@ class GraphStore:
         """Compact memtable + latest snapshot into a new immutable version.
 
         Returns the new version number. The WAL is truncated afterwards:
-        all its effects are now captured by the snapshot.
+        all its effects are now captured by the snapshot. Alongside the
+        ``.npz`` snapshot the version is frozen into an immutable CSR
+        artifact directory (``csr-NNNNNN/``) that the serving read path
+        memory-maps; the manifest entry records its presence.
         """
         merged = self._merged_edges()
         version = (self._manifest["versions"][-1]["version"] + 1) if self._manifest["versions"] else 1
@@ -218,14 +265,52 @@ class GraphStore:
             weights = np.empty(0)
             relations = np.empty(0, dtype=np.int64)
         np.savez_compressed(snap_path, pairs=pairs, weights=weights, relations=relations)
+        CSRGraph.from_edges(self.num_nodes, pairs, weights, relations).save(
+            self.csr_path(version)
+        )
         self._manifest["versions"].append(
-            {"version": version, "tag": tag or f"v{version}", "edges": int(len(pairs))}
+            {
+                "version": version,
+                "tag": tag or f"v{version}",
+                "edges": int(len(pairs)),
+                "csr": True,
+            }
         )
         self._write_manifest()
         self._memtable.clear()
         if self._wal_path.exists():
             self._wal_path.unlink()
         return version
+
+    def csr_path(self, version: int) -> Path:
+        """Directory of the frozen CSR artifact for ``version``."""
+        return self.path / f"csr-{version:06d}"
+
+    def _open_csr(self, version: int) -> CSRGraph | None:
+        """Memory-map a version's CSR artifact; ``None`` for legacy versions.
+
+        Opened artifacts are shared per (store, version): remapping the
+        same generation twice costs one page table, not two copies.
+        """
+        cached = self._csr_cache.get(version)
+        if cached is not None:
+            return cached
+        directory = self.csr_path(version)
+        if not (directory / "meta.json").exists():
+            return None
+        csr = CSRGraph.load(directory)
+        self._csr_cache[version] = csr
+        return csr
+
+    def _cached_snapshot(
+        self, version: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot arrays shared per (store, version) for legacy readers."""
+        cached = self._snapshot_cache.get(version)
+        if cached is None:
+            cached = self._read_snapshot(version)
+            self._snapshot_cache[version] = cached
+        return cached
 
     def versions(self) -> list[dict]:
         """Metadata for every committed version, oldest first."""
@@ -251,12 +336,17 @@ class GraphStore:
             )
         return EntityGraph(self.num_nodes, pairs[:, 0], pairs[:, 1], weights, relations)
 
-    def snapshot_reader(self, version: int | None = None) -> SnapshotReader:
+    def snapshot_reader(
+        self, version: int | None = None, use_csr: bool = True
+    ) -> SnapshotReader:
         """A pinned, immutable reader over one committed version.
 
         Defaults to the latest version. Unlike :meth:`load_version`, the
         reader keeps its version id attached and serves point reads without
         the memtable merge — it is the artifact the serving runtime holds.
+        When the version carries a CSR artifact (every commit since the CSR
+        substrate landed) the reader is memmap-backed; ``use_csr=False``
+        forces the legacy dict-adjacency path (benchmarks, debugging).
         """
         if version is None:
             version = self.latest_version()
@@ -265,7 +355,7 @@ class GraphStore:
         known = {v["version"] for v in self._manifest["versions"]}
         if version not in known:
             raise StorageError(f"unknown version {version}; have {sorted(known)}")
-        return SnapshotReader(self, version)
+        return SnapshotReader(self, version, use_csr=use_csr)
 
     def current_graph(self) -> EntityGraph:
         """Latest snapshot merged with uncommitted memtable edits."""
@@ -344,9 +434,14 @@ class GraphStore:
             return 0
         drop, keep = versions[:-keep_last], versions[-keep_last:]
         for meta in drop:
-            snap = self.path / f"snapshot-{meta['version']:06d}.npz"
+            dropped = meta["version"]
+            snap = self.path / f"snapshot-{dropped:06d}.npz"
             if snap.exists():
                 snap.unlink()
+            shutil.rmtree(self.csr_path(dropped), ignore_errors=True)
+            self._snapshot_cache.pop(dropped, None)
+            self._adjacency_cache.pop(dropped, None)
+            self._csr_cache.pop(dropped, None)
         self._manifest["versions"] = keep
         self._write_manifest()
         return len(drop)

@@ -26,7 +26,12 @@ import numpy as np
 
 from repro.datasets.behavior import BehaviorEvent
 from repro.datasets.world import World
-from repro.errors import CircuitOpenError, DriftGateError, NotFittedError
+from repro.errors import (
+    CircuitOpenError,
+    DriftGateError,
+    NotFittedError,
+    StorageError,
+)
 from repro.graph.entity_graph import EntityGraph
 from repro.graph.storage import GraphStore
 from repro.obs import (
@@ -82,6 +87,9 @@ class RefreshReport:
     #: Content digest of the published ranked graph — identical for a
     #: resumed and an uninterrupted run of the same seeded refresh.
     artifact_digest: str | None = None
+    #: On-disk format of the published graph generation ("csr" when the
+    #: zero-copy artifact was frozen, "snapshot"/"memory" otherwise).
+    graph_format: str | None = None
 
 
 class EGLSystem:
@@ -159,6 +167,34 @@ class EGLSystem:
             "retry", seam=seam, attempt=attempt, error=str(error)
         )
 
+    def _publish_week_graph(self, run: WeeklyRun) -> dict:
+        """Commit + publish one week's mined graph; returns a path-free
+        summary of the registered generation (the freeze-stage payload)."""
+        tag = f"week-{run.week}"
+        if self.store is not None:
+            lo, hi = run.ranked_graph.canonical_pairs()
+            self.store.put_edges(
+                list(zip(lo.tolist(), hi.tolist())),
+                run.ranked_graph.weight.tolist(),
+                run.ranked_graph.relation.tolist(),
+            )
+            self.store.commit_version(tag=tag)
+            record = self.retry.call(
+                lambda: self.registry.publish_graph(self.store, tag=tag),
+                seam="registry.publish_graph",
+            )
+        else:
+            record = self.retry.call(
+                lambda: self.registry.publish_graph(run.ranked_graph, tag=tag),
+                seam="registry.publish_graph",
+            )
+        return {
+            "version": record.version,
+            "tag": record.tag,
+            "format": record.format,
+            "digest": graph_digest(run.ranked_graph),
+        }
+
     def weekly_refresh(
         self, events: list[BehaviorEvent], resume: bool = False
     ) -> RefreshReport:
@@ -181,25 +217,13 @@ class EGLSystem:
                 events, feedback_pairs=feedback_pairs, run_id=run_id, resume=resume
             )
 
-            if self.store is not None:
-                lo, hi = run.ranked_graph.canonical_pairs()
-                self.store.put_edges(
-                    list(zip(lo.tolist(), hi.tolist())),
-                    run.ranked_graph.weight.tolist(),
-                    run.ranked_graph.relation.tolist(),
-                )
-                self.store.commit_version(tag=f"week-{run.week}")
-                record = self.retry.call(
-                    lambda: self.registry.publish_graph(self.store, tag=f"week-{run.week}"),
-                    seam="registry.publish_graph",
-                )
-            else:
-                record = self.retry.call(
-                    lambda: self.registry.publish_graph(
-                        run.ranked_graph, tag=f"week-{run.week}"
-                    ),
-                    seam="registry.publish_graph",
-                )
+            # Freeze + register the mined graph (the registry writes the
+            # CSR artifact alongside the snapshot) as its own checkpointed
+            # stage: a crash between publication and activation resumes
+            # onto the already-registered generation.
+            frozen = self.pipeline.freeze_artifacts(
+                run_id, lambda: self._publish_week_graph(run), resume=resume
+            )
 
             ensemble_trained = False
             if len(self.pipeline.weekly_runs) >= 2:
@@ -210,7 +234,7 @@ class EGLSystem:
             # requests already in flight finish on the previous version.
             reasoner = GraphReasoner(
                 self.retry.call(
-                    lambda: self.registry.open_graph(record.version),
+                    lambda: self.registry.open_graph(frozen["version"]),
                     seam="registry.open_graph",
                 ),
                 self.pipeline.entity_dict,
@@ -220,7 +244,9 @@ class EGLSystem:
             swap_rejected = False
             swap_rejected_reason = None
             try:
-                self.runtime.activate_graph(reasoner, record.version, tag=record.tag)
+                self.runtime.activate_graph(
+                    reasoner, frozen["version"], tag=frozen["tag"]
+                )
             except (DriftGateError, CircuitOpenError) as error:
                 # The artifact stays published (evidence!) but serving keeps
                 # the old generation; a drift report is already in the
@@ -237,7 +263,7 @@ class EGLSystem:
         ).observe(elapsed)
         return RefreshReport(
             week=run.week,
-            graph_version=record.version,
+            graph_version=frozen["version"],
             num_relations=run.ranked_graph.num_edges,
             ensemble_trained=ensemble_trained,
             elapsed_seconds=elapsed,
@@ -247,6 +273,7 @@ class EGLSystem:
             run_id=run_id,
             resumed_stages=list(run.resumed_stages),
             artifact_digest=graph_digest(run.ranked_graph),
+            graph_format=frozen.get("format"),
         )
 
     def daily_preference_refresh(self, events: list[BehaviorEvent]) -> int:
@@ -262,8 +289,21 @@ class EGLSystem:
                 lambda: self.registry.publish_preferences(store),
                 seam="registry.publish_preferences",
             )
+            serve_store = store
+            if record.source == "file":
+                # Serve the registry's artifact (memmap sidecar preferred):
+                # pages are mapped read-only and shared, not copied.
+                try:
+                    serve_store = self.retry.call(
+                        lambda: self.registry.open_preferences(record.version),
+                        seam="registry.open_preferences",
+                    )
+                except StorageError:
+                    serve_store = store  # artifact quarantined; serve in-memory
             try:
-                self.runtime.activate_preferences(store, record.version, tag=record.tag)
+                self.runtime.activate_preferences(
+                    serve_store, record.version, tag=record.tag
+                )
             except (DriftGateError, CircuitOpenError):
                 pass  # published but not activated; report already filed
         metrics = self.obs.metrics

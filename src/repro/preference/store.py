@@ -4,22 +4,36 @@ The online stage must answer "top-K users for these entities" in
 milliseconds, so preferences are pre-computed: per entity, users are ranked
 by ``r_u · h_e`` and the head of each ranking is kept in an inverted index.
 
-A built store is also a *serving artifact*: :meth:`save`/:meth:`load` give
-it a durable ``.npz`` form and a version tag, so the daily producer can
-publish an immutable index that the serving runtime hot-swaps in.
+A built store is also a *serving artifact* in two durable forms:
+
+* :meth:`save`/:meth:`load` — the legacy single-file compressed ``.npz``;
+* :meth:`save_memmap`/:meth:`load_memmap` — a directory of raw ``.npy``
+  arrays plus a checksummed ``meta.json``, openable with ``np.memmap`` so
+  the serving runtime swaps preference generations by remapping pages
+  instead of decompressing and copying the whole score matrix.
+
+The daily producer publishes both; the registry prefers the memmap form
+and falls back to the ``.npz`` when it is absent or corrupt.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigError, NotFittedError, StorageError
+from repro.errors import ConfigError, CorruptArtifactError, NotFittedError, StorageError
 from repro.preference.user_embedding import user_embedding_matrix
+from repro.resilience import atomic_write_bytes, atomic_write_text, file_digest, sha256_hex
 from repro.text.sequence_extractor import UserEntitySequence
+
+#: On-disk format identifier of the memmap artifact directory.
+PREF_MEMMAP_FORMAT = "pref-mm-v1"
+
+_MEMMAP_ARRAYS = ("entity_embeddings", "user_matrix", "covered", "interaction")
 
 
 @dataclass
@@ -59,6 +73,10 @@ class PreferenceStore:
         #: Artifact identity: set by the daily producer (e.g. ``daily-3``)
         #: and reported by the serving runtime's health endpoint.
         self.version_tag = version_tag
+        #: How the backing arrays are held: ``"memory"`` (freshly built),
+        #: ``"npz"`` (loaded from the legacy artifact) or ``"memmap"``
+        #: (zero-copy mapped pages). Reported by the serving runtime.
+        self.storage = "memory"
         self._user_matrix: np.ndarray | None = None
         self._covered: np.ndarray | None = None
         self._interaction: np.ndarray | None = None  # (users, entities) freq
@@ -82,6 +100,7 @@ class PreferenceStore:
             ids = np.asarray(seq.entity_ids, dtype=np.int64)
             np.add.at(self._interaction[user_id], ids, 1.0 / len(ids))
         self._heads = {}
+        self.storage = "memory"
         return self
 
     def update_user(self, sequence: UserEntitySequence) -> None:
@@ -151,23 +170,12 @@ class PreferenceStore:
         self._require_built()
         if not entity_ids:
             raise ConfigError("need at least one entity to target users")
-        ids = np.asarray(entity_ids, dtype=np.int64)
-        per_entity = self._user_matrix @ self.entity_embeddings[ids].T
-        if self.direct_weight:
-            per_entity = per_entity + self.direct_weight * self._interaction[:, ids]
-        if weights is not None:
-            w = np.asarray(weights, dtype=np.float64)
-            if w.shape != (len(ids),):
-                raise ConfigError("weights must align with entity_ids")
-            w = w / max(w.sum(), 1e-12)
-            scores = per_entity @ w
-        else:
-            scores = per_entity.mean(axis=1)
-        scores = np.where(self._covered, scores, -np.inf)
-        k = min(k, int(self._covered.sum()))
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
-        return [UserScore(int(u), float(scores[u])) for u in top]
+        # Delegate to the batched kernel with a single set: the sequential
+        # and batch paths share one float pipeline, so a burst of requests
+        # returns byte-identical rankings to one-at-a-time serving.
+        return self.top_users_for_entity_sets(
+            [list(entity_ids)], k, None if weights is None else [weights]
+        )[0]
 
     def top_users_for_entity_sets(
         self,
@@ -177,10 +185,13 @@ class PreferenceStore:
     ) -> list[list[UserScore]]:
         """Batched :meth:`top_users_for_entities` over many entity sets.
 
-        The dense score block ``r_u · h_e`` is computed *once* for the union
-        of all requested entities, then each set combines its columns — one
-        matmul instead of one per request, which is how the runtime serves
-        a burst of targeting requests (or one request per expansion seed).
+        Fully vectorized: the dense score block ``r_u · h_e`` is computed
+        *once* for the union of all requested entities, every set's
+        (normalised) combination weights are scattered into one combine
+        matrix, and a single ``block @ combine`` matmul plus one batched
+        ``argpartition`` ranks all sets — no per-request Python loop. This
+        is how the runtime serves a burst of targeting requests (or one
+        request per expansion seed).
         """
         self._require_built()
         if not entity_sets:
@@ -196,25 +207,35 @@ class PreferenceStore:
         block = self._user_matrix @ self.entity_embeddings[union_ids].T
         if self.direct_weight:
             block = block + self.direct_weight * self._interaction[:, union_ids]
-        k_eff = min(k, int(self._covered.sum()))
-        results: list[list[UserScore]] = []
+        # (union, sets) combine matrix: column i holds set i's normalised
+        # per-entity weights (uniform 1/n for unweighted sets; duplicate
+        # entities accumulate, matching a mean over duplicate columns).
+        combine = np.zeros((len(union), len(entity_sets)))
         for i, ids in enumerate(entity_sets):
-            cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
-            per_entity = block[:, cols]
             w = None if weights is None else weights[i]
-            if w is not None:
+            if w is None:
+                w = np.full(len(ids), 1.0 / len(ids))
+            else:
                 w = np.asarray(w, dtype=np.float64)
                 if w.shape != (len(ids),):
                     raise ConfigError("weights must align with entity_ids")
                 w = w / max(w.sum(), 1e-12)
-                scores = per_entity @ w
-            else:
-                scores = per_entity.mean(axis=1)
-            scores = np.where(self._covered, scores, -np.inf)
-            top = np.argpartition(-scores, k_eff - 1)[:k_eff]
-            top = top[np.argsort(-scores[top])]
-            results.append([UserScore(int(u), float(scores[u])) for u in top])
-        return results
+            cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
+            np.add.at(combine[:, i], cols, w)
+        scores_all = block @ combine  # (users, sets)
+        scores_all = np.where(self._covered[:, None], scores_all, -np.inf)
+        k_eff = min(k, int(self._covered.sum()))
+        if k_eff < 1:
+            return [[] for _ in entity_sets]
+        top = np.argpartition(-scores_all, k_eff - 1, axis=0)[:k_eff]
+        top_scores = np.take_along_axis(scores_all, top, axis=0)
+        order = np.argsort(-top_scores, axis=0, kind="stable")
+        top = np.take_along_axis(top, order, axis=0)
+        top_scores = np.take_along_axis(top_scores, order, axis=0)
+        return [
+            [UserScore(int(u), float(s)) for u, s in zip(top[:, i], top_scores[:, i])]
+            for i in range(len(entity_sets))
+        ]
 
     # ------------------------------------------------------------------
     # Artifact serialization (daily producer → serving runtime handoff)
@@ -266,7 +287,115 @@ class PreferenceStore:
                 raise StorageError(
                     f"preference artifact {path} is missing field {missing}"
                 ) from None
+        store.storage = "npz"
         return store
+
+    def save_memmap(self, directory: str | Path) -> Path:
+        """Persist the built index as a memmap-able artifact directory.
+
+        Each array is a raw ``.npy`` written through the atomic temp +
+        fsync + rename path; ``meta.json`` (with per-file SHA-256) lands
+        last as the commit point. Unlike :meth:`save`, an artifact written
+        this way is opened with ``np.memmap`` — swapping generations costs
+        page-table work, not a full decompress-and-copy of the matrices.
+        """
+        self._require_built()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "entity_embeddings": self.entity_embeddings,
+            "user_matrix": self._user_matrix,
+            "covered": self._covered,
+            "interaction": self._interaction,
+        }
+        checksums: dict[str, str] = {}
+        for name in _MEMMAP_ARRAYS:
+            buffer = io.BytesIO()
+            np.save(buffer, np.ascontiguousarray(arrays[name]))
+            data = buffer.getvalue()
+            checksums[name] = sha256_hex(data)
+            atomic_write_bytes(directory / f"{name}.npy", data)
+        meta = {
+            "format": PREF_MEMMAP_FORMAT,
+            "head_size": self.head_size,
+            "direct_weight": self.direct_weight,
+            "version_tag": self.version_tag,
+            "checksums": checksums,
+        }
+        atomic_write_text(
+            directory / "meta.json", json.dumps(meta, indent=2, sort_keys=True)
+        )
+        return directory
+
+    @classmethod
+    def load_memmap(
+        cls, directory: str | Path, mmap: bool = True, verify: bool = False
+    ) -> "PreferenceStore":
+        """Open a :meth:`save_memmap` artifact, memory-mapped read-only.
+
+        ``verify=True`` proves every array file against the manifest
+        checksums (publish/startup validation); the default open trusts
+        previously-validated bytes so activation stays O(1) in index size.
+        A memmap-backed store is immutable: :meth:`update_user` requires a
+        rebuilt (in-memory) store.
+        """
+        directory = Path(directory)
+        meta_path = directory / "meta.json"
+        if not meta_path.exists():
+            raise StorageError(f"preference artifact missing: {meta_path}")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise CorruptArtifactError(
+                f"preference artifact manifest unreadable: {meta_path}"
+            ) from error
+        if meta.get("format") != PREF_MEMMAP_FORMAT:
+            raise CorruptArtifactError(
+                f"preference artifact {directory} has format "
+                f"{meta.get('format')!r}, expected {PREF_MEMMAP_FORMAT!r}"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        for name in _MEMMAP_ARRAYS:
+            path = directory / f"{name}.npy"
+            if not path.exists():
+                raise CorruptArtifactError(f"preference artifact missing array {path}")
+            if verify:
+                recorded = meta.get("checksums", {}).get(name)
+                if recorded is not None and file_digest(path) != recorded:
+                    raise CorruptArtifactError(
+                        f"preference artifact checksum mismatch for {path}"
+                    )
+            try:
+                arrays[name] = np.load(path, mmap_mode="r" if mmap else None)
+            except (ValueError, OSError) as error:
+                raise CorruptArtifactError(
+                    f"preference artifact array unreadable: {path}"
+                ) from error
+        try:
+            store = cls(
+                arrays["entity_embeddings"],
+                head_size=int(meta["head_size"]),
+                # Embeddings were already normalised (or deliberately not)
+                # before saving; do not renormalise on load.
+                normalize=False,
+                direct_weight=float(meta["direct_weight"]),
+                version_tag=meta["version_tag"],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CorruptArtifactError(
+                f"preference artifact manifest malformed: {meta_path}"
+            ) from error
+        store._user_matrix = arrays["user_matrix"]
+        store._covered = arrays["covered"]
+        store._interaction = arrays["interaction"]
+        store.storage = "memmap"
+        return store
+
+    @classmethod
+    def validate_memmap(cls, directory: str | Path) -> bool:
+        """Full checksum proof of a memmap artifact directory."""
+        cls.load_memmap(directory, mmap=True, verify=True)
+        return True
 
     @property
     def user_matrix(self) -> np.ndarray:

@@ -7,10 +7,16 @@ immutable, named, versioned record; readers open artifacts *by version* and
 the record list only ever grows. Two artifact kinds exist today:
 
 * ``graph`` — a committed :class:`~repro.graph.GraphStore` version (opened
-  as a pinned :class:`~repro.graph.storage.SnapshotReader`) or an in-memory
-  :class:`~repro.graph.EntityGraph` when the system runs storeless;
+  as a pinned :class:`~repro.graph.storage.SnapshotReader`, memmap CSR
+  backed when the version carries the frozen artifact), a rooted storeless
+  publish (frozen straight to a ``graph-csr-NNNNNN/`` CSR directory under
+  the registry root, source ``"csr"``), or an in-memory
+  :class:`~repro.graph.EntityGraph` when the registry has no root;
 * ``preferences`` — a built :class:`~repro.preference.PreferenceStore`,
-  serialized to ``.npz`` when the registry has a root directory.
+  serialized to ``.npz`` plus a memmap-able ``preferences-mm-NNNNNN/``
+  sidecar when the registry has a root directory; opens prefer the memmap
+  form (zero-copy swap) and fall back to the ``.npz`` if the sidecar is
+  missing or corrupt.
 
 Crash safety (a rooted registry is the system's durable state):
 
@@ -37,11 +43,13 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import shutil
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.errors import CorruptArtifactError, StorageError
 from repro.obs.drift import DriftReport
+from repro.graph.csr import CSRGraph, csr_meta_digest
 from repro.graph.entity_graph import EntityGraph
 from repro.graph.storage import GraphStore, SnapshotReader
 from repro.preference.store import PreferenceStore
@@ -61,15 +69,26 @@ QUARANTINE_DIR = "quarantine"
 
 @dataclass(frozen=True)
 class ArtifactRecord:
-    """One immutable published artifact: what it is and where it lives."""
+    """One immutable published artifact: what it is and where it lives.
+
+    ``format`` names the serving representation (``"csr"``, ``"memmap"``,
+    ``"snapshot"``, ``"npz"``, ``"memory"``). ``aux_path``/``aux_checksum``
+    point at an optional sidecar artifact — today the memmap preference
+    directory published next to the legacy ``.npz``; both fields are
+    absent on records written before the CSR substrate landed, which is
+    what keeps old manifests loadable.
+    """
 
     kind: str
     version: int
     tag: str
-    source: str  # "store" | "file" | "memory"
+    source: str  # "store" | "file" | "memory" | "csr"
     path: str | None = None
     edges: int | None = None
     checksum: str | None = None
+    format: str | None = None
+    aux_path: str | None = None
+    aux_checksum: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -80,6 +99,9 @@ class ArtifactRecord:
             "path": self.path,
             "edges": self.edges,
             "checksum": self.checksum,
+            "format": self.format,
+            "aux_path": self.aux_path,
+            "aux_checksum": self.aux_checksum,
         }
 
     @classmethod
@@ -92,6 +114,9 @@ class ArtifactRecord:
             path=data.get("path"),
             edges=data.get("edges"),
             checksum=data.get("checksum"),
+            format=data.get("format"),
+            aux_path=data.get("aux_path"),
+            aux_checksum=data.get("aux_checksum"),
         )
 
 
@@ -149,9 +174,13 @@ class ArtifactRegistry:
         """Register a weekly graph artifact.
 
         A :class:`GraphStore` publishes one of its committed versions
-        (default: latest) — the snapshot file *is* the artifact. A plain
-        :class:`EntityGraph` is registered in memory under the next
-        version number.
+        (default: latest) — the snapshot + CSR artifact pair *is* the
+        artifact; the frozen CSR directory is checksum-verified here at
+        publish time (verify-at-ingest) so later opens can trust-and-map
+        it without re-hashing. A plain :class:`EntityGraph` is frozen to a
+        ``graph-csr-NNNNNN/`` CSR directory when the registry is rooted
+        (source ``"csr"``, durable across restarts) and kept in memory
+        otherwise.
         """
         self._check_faults("registry.write")
         if isinstance(graph, GraphStore):
@@ -172,6 +201,21 @@ class ArtifactRegistry:
                 source="store",
                 path=str(graph.path),
                 edges=meta[version]["edges"],
+                format=self._verified_store_format(graph, version),
+            )
+        elif self.root is not None:
+            version = self._next_version(KIND_GRAPH) if version is None else version
+            directory = self.root / f"graph-csr-{version:06d}"
+            CSRGraph.from_entity_graph(graph).save(directory)
+            record = ArtifactRecord(
+                kind=KIND_GRAPH,
+                version=version,
+                tag=tag or f"graph-v{version}",
+                source="csr",
+                path=str(directory),
+                edges=graph.num_edges,
+                checksum=csr_meta_digest(directory),
+                format="csr",
             )
         else:
             version = self._next_version(KIND_GRAPH) if version is None else version
@@ -181,9 +225,26 @@ class ArtifactRegistry:
                 tag=tag or f"graph-v{version}",
                 source="memory",
                 edges=graph.num_edges,
+                format="memory",
             )
             self._memory[(KIND_GRAPH, version)] = graph
         return self._append(record)
+
+    def _verified_store_format(self, store: GraphStore, version: int) -> str:
+        """``"csr"`` when the version's CSR artifact proves out, else
+        ``"snapshot"`` (legacy versions, or a corrupt freeze that gets
+        quarantined here so the reader falls back to the dict path)."""
+        directory = store.csr_path(version)
+        if not (directory / "meta.json").exists():
+            return "snapshot"
+        try:
+            CSRGraph.validate(directory)
+        except StorageError:
+            self._quarantine_dir(
+                KIND_GRAPH, version, directory, "CSR artifact failed validation"
+            )
+            return "snapshot"
+        return "csr"
 
     def publish_preferences(
         self, store: PreferenceStore, tag: str | None = None
@@ -192,7 +253,10 @@ class ArtifactRegistry:
 
         The ``.npz`` is written to a temp name and atomically renamed into
         place; its SHA-256 goes into the record, so every later open can
-        prove it reads the published bytes.
+        prove it reads the published bytes. A memmap-able sidecar directory
+        (``preferences-mm-NNNNNN/``) is published alongside — the serving
+        runtime maps it zero-copy, and the ``.npz`` remains the fallback
+        should the sidecar be lost or corrupted.
         """
         self._check_faults("registry.write")
         version = self._next_version(KIND_PREFERENCES)
@@ -202,13 +266,18 @@ class ArtifactRegistry:
             final = self.root / f"preferences-{version:06d}.npz"
             tmp = store.save(self.root / f".tmp-preferences-{version:06d}.npz")
             os.replace(tmp, final)
+            mm_dir = store.save_memmap(self.root / f"preferences-mm-{version:06d}")
             record = ArtifactRecord(
                 kind=KIND_PREFERENCES, version=version, tag=tag,
                 source="file", path=str(final), checksum=file_digest(final),
+                format="memmap",
+                aux_path=str(mm_dir),
+                aux_checksum=file_digest(mm_dir / "meta.json"),
             )
         else:
             record = ArtifactRecord(
-                kind=KIND_PREFERENCES, version=version, tag=tag, source="memory"
+                kind=KIND_PREFERENCES, version=version, tag=tag, source="memory",
+                format="memory",
             )
             self._memory[(KIND_PREFERENCES, version)] = store
         return self._append(record)
@@ -216,8 +285,14 @@ class ArtifactRegistry:
     # ------------------------------------------------------------------
     # Open (serving side)
     # ------------------------------------------------------------------
-    def open_graph(self, version: int | None = None) -> SnapshotReader | EntityGraph:
-        """Open a published graph artifact, pinned to its version."""
+    def open_graph(self, version: int | None = None):
+        """Open a published graph artifact, pinned to its version.
+
+        Store records resolve to a pinned snapshot reader (memmap CSR
+        backed when available); ``csr`` records map the frozen artifact
+        directory read-only — the checksums were proven at publish (or
+        startup), so the open itself is O(1) in graph size.
+        """
         self._check_faults("registry.read")
         record = self._resolve(KIND_GRAPH, version)
         if record.source == "store":
@@ -227,22 +302,58 @@ class ArtifactRegistry:
                     "not bound; publish the store first"
                 )
             return self._graph_store.snapshot_reader(record.version)
+        if record.source == "csr":
+            try:
+                return CSRGraph.load(record.path)
+            except StorageError as error:
+                self._quarantine(record, f"CSR artifact unreadable: {error}")
+                raise CorruptArtifactError(
+                    f"graph artifact v{record.version} quarantined: {error}"
+                ) from error
         return self._memory[(KIND_GRAPH, record.version)]
 
     def open_preferences(self, version: int | None = None) -> PreferenceStore:
         """Open a published preference artifact (loads from disk if rooted).
 
-        A file artifact whose bytes no longer match the published checksum
-        is quarantined and its record dropped before
+        Rooted opens prefer the memmap sidecar (zero-copy generation swap);
+        a missing or corrupt sidecar is quarantined and the legacy ``.npz``
+        serves instead. A ``.npz`` whose bytes no longer match the
+        published checksum is quarantined and its record dropped before
         :class:`~repro.errors.CorruptArtifactError` is raised — the next
         ``open_preferences()`` resolves to the previous good version.
         """
         self._check_faults("registry.read")
         record = self._resolve(KIND_PREFERENCES, version)
         if record.source == "file":
+            if record.aux_path is not None:
+                try:
+                    return PreferenceStore.load_memmap(record.aux_path)
+                except StorageError as error:
+                    record = self._demote_preference_sidecar(record, str(error))
             self._validate_file_record(record, raise_on_corrupt=True)
             return PreferenceStore.load(record.path)
         return self._memory[(KIND_PREFERENCES, record.version)]
+
+    def _demote_preference_sidecar(
+        self, record: ArtifactRecord, reason: str
+    ) -> ArtifactRecord:
+        """Quarantine a bad memmap sidecar; keep the record on its ``.npz``.
+
+        Returns the demoted record (aux fields stripped, format ``npz``)
+        that replaced the original in the catalogue.
+        """
+        self._quarantine_dir(
+            record.kind,
+            record.version,
+            Path(record.aux_path),
+            f"memmap sidecar unreadable: {reason}",
+        )
+        demoted = replace(record, format="npz", aux_path=None, aux_checksum=None)
+        records = self._records.get(record.kind, [])
+        if record in records:
+            records[records.index(record)] = demoted
+            self._save_manifest()
+        return demoted
 
     # ------------------------------------------------------------------
     # Validation + quarantine
@@ -266,15 +377,62 @@ class ArtifactRegistry:
             )
         return False
 
+    def _quarantine_dir(
+        self, kind: str, version: int, directory: Path, reason: str
+    ) -> None:
+        """Move a bad artifact *directory* aside without touching records.
+
+        Used for redundant artifacts (CSR freeze next to a snapshot, the
+        memmap preference sidecar) where a fallback representation keeps
+        serving — the evidence lands in ``quarantined`` either way. The
+        directory moves into a ``quarantine/`` sibling so it works for
+        store-owned paths as well as registry-root paths.
+        """
+        quarantined_path = None
+        if directory.exists():
+            qdir = (
+                self.root / QUARANTINE_DIR
+                if self.root is not None
+                else directory.parent / QUARANTINE_DIR
+            )
+            qdir.mkdir(parents=True, exist_ok=True)
+            quarantined_path = qdir / directory.name
+            if quarantined_path.exists():
+                shutil.rmtree(quarantined_path, ignore_errors=True)
+            os.replace(directory, quarantined_path)
+        self.quarantined.append(
+            {
+                "kind": kind,
+                "version": version,
+                "path": str(quarantined_path) if quarantined_path else str(directory),
+                "reason": reason,
+            }
+        )
+
     def _quarantine(self, record: ArtifactRecord, reason: str) -> None:
-        """Move the bad file aside, drop the record, keep the evidence."""
+        """Move the bad file aside, drop the record, keep the evidence.
+
+        The record's sidecar (memmap directory), if any, moves with it —
+        a dropped record must not leave a servable-looking orphan behind.
+        """
         quarantined_path = None
         path = Path(record.path) if record.path else None
         if path is not None and path.exists() and self.root is not None:
             qdir = self.root / QUARANTINE_DIR
             qdir.mkdir(parents=True, exist_ok=True)
             quarantined_path = qdir / path.name
+            if quarantined_path.exists() and quarantined_path.is_dir():
+                shutil.rmtree(quarantined_path, ignore_errors=True)
             os.replace(path, quarantined_path)
+        if record.aux_path is not None and self.root is not None:
+            aux = Path(record.aux_path)
+            if aux.exists():
+                qdir = self.root / QUARANTINE_DIR
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / aux.name
+                if target.exists():
+                    shutil.rmtree(target, ignore_errors=True)
+                os.replace(aux, target)
         records = self._records.get(record.kind, [])
         if record in records:
             records.remove(record)
@@ -384,11 +542,26 @@ class ArtifactRegistry:
             )
             return
         corrupt: list[tuple[ArtifactRecord, str]] = []
+        demote: list[tuple[ArtifactRecord, str]] = []
         for kind in self._records:
             for data in raw.get(kind, []):
                 record = ArtifactRecord.from_dict(data)
                 if record.source == "memory":
                     continue
+                if record.source == "csr":
+                    # Frozen CSR directory: full checksum proof at startup,
+                    # so every later open can map it without re-hashing.
+                    try:
+                        directory = Path(record.path)
+                        if record.checksum is not None and (
+                            not (directory / "meta.json").exists()
+                            or csr_meta_digest(directory) != record.checksum
+                        ):
+                            raise CorruptArtifactError("manifest digest mismatch")
+                        CSRGraph.validate(directory)
+                    except (StorageError, TypeError) as error:
+                        corrupt.append((record, f"CSR artifact invalid: {error}"))
+                        continue
                 if record.source == "file":
                     file_path = Path(record.path) if record.path else None
                     if file_path is None or not file_path.exists():
@@ -402,9 +575,26 @@ class ArtifactRegistry:
                             (record, "checksum mismatch (truncated or corrupted file)")
                         )
                         continue
+                    if record.aux_path is not None:
+                        # Memmap sidecar: prove it now or demote the record
+                        # to its .npz fallback — startup never crashes on a
+                        # torn sidecar.
+                        try:
+                            aux_dir = Path(record.aux_path)
+                            if record.aux_checksum is not None and (
+                                not (aux_dir / "meta.json").exists()
+                                or file_digest(aux_dir / "meta.json")
+                                != record.aux_checksum
+                            ):
+                                raise CorruptArtifactError("manifest digest mismatch")
+                            PreferenceStore.validate_memmap(aux_dir)
+                        except (StorageError, TypeError) as error:
+                            demote.append((record, str(error)))
                 self._records[kind].append(record)
         for record, reason in corrupt:
             self._quarantine(record, reason)
+        for record, reason in demote:
+            self._demote_preference_sidecar(record, reason)
 
     # ------------------------------------------------------------------
     # Catalogue

@@ -623,13 +623,28 @@ class ServingRuntime:
     # Observability
     # ------------------------------------------------------------------
     def versions(self) -> dict:
-        """The active artifact versions — attached to every API response."""
+        """The active artifact versions — attached to every API response.
+
+        ``*_format`` names the serving representation each artifact is
+        mapped through — ``"csr"``/``"memmap"`` for the zero-copy mmap
+        substrate, ``"snapshot"``/``"npz"`` for the legacy forms,
+        ``"memory"`` for in-process artifacts — so operators can tell at a
+        glance whether a generation swap was a remap or a copy.
+        """
         active = self._active
+        graph_format = None
+        if active.reasoner is not None:
+            graph_format = getattr(active.reasoner.graph, "artifact_format", "memory")
+        preference_format = None
+        if active.preference_store is not None:
+            preference_format = getattr(active.preference_store, "storage", "memory")
         return {
             "graph_version": active.graph_version,
             "graph_tag": active.graph_tag,
+            "graph_format": graph_format,
             "preference_version": active.preference_version,
             "preference_tag": active.preference_tag,
+            "preference_format": preference_format,
         }
 
     def health(self) -> dict:

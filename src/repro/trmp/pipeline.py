@@ -8,8 +8,8 @@ entity graph, and contributes a snapshot to the ensemble — exactly the
 weekly refresh cadence described in §II-B.
 
 Fault tolerance: when a :class:`~repro.resilience.CheckpointStore` is
-attached, each stage's output (cooccurrence, candidates, ranked, ensemble)
-is checkpointed under the run id the moment it completes — through the
+attached, each stage's output (cooccurrence, candidates, ranked, ensemble,
+artifact_freeze) is checkpointed under the run id the moment it completes — through the
 attached :class:`~repro.resilience.RetryPolicy` when storage is flaky —
 and ``run_week(..., resume=True)`` reloads completed stages instead of
 recomputing them. Every training stage is seeded, so a resumed run is
@@ -392,6 +392,29 @@ class TRMPipeline:
         )
         ranked = self.ranked_graph(candidate, alpc)
         return {"alpc": alpc, "split": split, "ranked": ranked}
+
+    def freeze_artifacts(
+        self, run_id: str, publish, resume: bool = False
+    ) -> dict:
+        """Freeze + register the run's servable artifacts as a stage.
+
+        ``publish`` performs the actual registry publication (which writes
+        the CSR graph artifact and, for preferences, the memmap sidecar)
+        and returns a *path-free* summary — version, tag, format, content
+        digest. That summary is what gets checkpointed under ``run_id``: a
+        refresh killed between publication and activation resumes onto the
+        already-registered generation instead of publishing a duplicate.
+
+        The stage's digest is deliberately kept out of
+        :attr:`WeeklyRun.stage_digests` — those are compared across
+        registry roots by the chaos suite, and the freeze payload includes
+        the registry-assigned version.
+        """
+        state: dict = {"resumed": [], "digests": {}}
+        with self._stage("artifact_freeze"):
+            return self._stage_checkpointed(
+                run_id, "artifact_freeze", resume, state, publish
+            )
 
     def train_ensemble(
         self, run_id: str | None = None, resume: bool = False

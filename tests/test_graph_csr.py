@@ -1,0 +1,251 @@
+"""CSR artifact substrate: roundtrip, corruption, and CSR↔dict parity.
+
+The load-bearing property: ``k_hop_expansion`` over a frozen
+:class:`CSRGraph` (vectorized frontier sweep) and over the legacy
+per-node adjacency path (pure-Python dict walk) must return *identical*
+expansions — same hop ordering, same scores, same parents — on any graph,
+under every knob combination. Speed without parity doesn't count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptArtifactError, StorageError
+from repro.graph import CSRGraph, EntityGraph, GraphStore, csr_meta_digest
+from repro.graph.csr import META_NAME
+from repro.graph.khop import _top_k_stable, k_hop_expansion
+
+
+def random_edges(rng, num_nodes, max_edges=150):
+    """Unique undirected edges with float32-representable weights."""
+    m = int(rng.integers(5, max_edges))
+    src = rng.integers(0, num_nodes, size=3 * m)
+    dst = rng.integers(0, num_nodes, size=3 * m)
+    seen = {}
+    for u, v in zip(src, dst):
+        if u == v:
+            continue
+        seen.setdefault((min(int(u), int(v)), max(int(u), int(v))), None)
+        if len(seen) == m:
+            break
+    pairs = sorted(seen)
+    weights = rng.uniform(0.05, 1.0, size=len(pairs)).astype(np.float32)
+    return pairs, weights.astype(np.float64)
+
+
+class DictReader:
+    """The legacy point-read protocol: no ``csr_view``, so expansion over
+    this reader exercises the pure-Python pointwise kernel."""
+
+    def __init__(self, num_nodes, pairs, weights):
+        self.num_nodes = num_nodes
+        self._adj = {}
+        for (u, v), w in zip(pairs, weights):
+            self._adj.setdefault(u, []).append((v, float(w)))
+            self._adj.setdefault(v, []).append((u, float(w)))
+        for rows in self._adj.values():
+            rows.sort()
+
+    def neighbors(self, node):
+        rows = self._adj.get(int(node), [])
+        ids = np.array([v for v, _ in rows], dtype=np.int64)
+        ws = np.array([w for _, w in rows], dtype=np.float64)
+        return ids, ws
+
+
+def expansion_key(result):
+    return (result.seeds, result.hops, result.scores, result.parents)
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_structure(self, tmp_path, rng):
+        pairs, weights = random_edges(rng, num_nodes=40)
+        relations = rng.integers(0, 3, size=len(pairs))
+        frozen = CSRGraph.from_edges(40, np.array(pairs), weights, relations)
+        frozen.save(tmp_path / "csr")
+
+        loaded = CSRGraph.load(tmp_path / "csr")
+        assert loaded.num_nodes == 40
+        assert loaded.num_edges == len(pairs)
+        assert np.array_equal(loaded.offsets, frozen.offsets)
+        assert np.array_equal(loaded.neighbors_arr, frozen.neighbors_arr)
+        assert np.array_equal(loaded.weights_arr, frozen.weights_arr)
+        assert np.array_equal(loaded.relations_arr, frozen.relations_arr)
+        # Memmap-backed: the default open maps pages instead of copying.
+        assert isinstance(loaded.neighbors_arr, np.memmap)
+        assert not loaded.neighbors_arr.flags.writeable
+
+    def test_rows_sorted_ascending_by_neighbor(self, rng):
+        pairs, weights = random_edges(rng, num_nodes=30)
+        frozen = CSRGraph.from_edges(30, np.array(pairs), weights)
+        for node in range(30):
+            ids, _ = frozen.neighbors(node)
+            assert np.all(np.diff(ids) > 0)  # sorted, no duplicates
+
+    def test_neighbors_batch_matches_point_reads(self, rng):
+        pairs, weights = random_edges(rng, num_nodes=25)
+        frozen = CSRGraph.from_edges(25, np.array(pairs), weights)
+        nodes = np.array([3, 0, 17, 3])
+        rep, ids, ws = frozen.neighbors_batch(nodes)
+        for i, node in enumerate(nodes):
+            point_ids, point_ws = frozen.neighbors(node)
+            assert np.array_equal(ids[rep == i], point_ids)
+            assert np.array_equal(ws[rep == i], point_ws)
+
+    def test_entity_graph_roundtrip(self, rng):
+        pairs, weights = random_edges(rng, num_nodes=20)
+        graph = EntityGraph.from_edge_list(
+            20, pairs, np.asarray(weights, dtype=np.float32), [1] * len(pairs)
+        )
+        back = CSRGraph.from_entity_graph(graph).graph()
+        assert np.array_equal(
+            np.stack(back.canonical_pairs(), 1), np.stack(graph.canonical_pairs(), 1)
+        )
+        assert np.allclose(back.weight, graph.weight)
+
+    def test_validate_proves_checksums(self, tmp_path, rng):
+        pairs, weights = random_edges(rng, num_nodes=15)
+        directory = CSRGraph.from_edges(15, np.array(pairs), weights).save(
+            tmp_path / "csr"
+        )
+        assert CSRGraph.validate(directory)
+        assert len(csr_meta_digest(directory)) == 64
+
+
+class TestCorruption:
+    def freeze(self, tmp_path, rng, num_nodes=15):
+        pairs, weights = random_edges(rng, num_nodes)
+        return CSRGraph.from_edges(num_nodes, np.array(pairs), weights).save(
+            tmp_path / "csr"
+        )
+
+    def test_missing_directory_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError, match="missing"):
+            CSRGraph.load(tmp_path / "nope")
+
+    def test_truncated_array_fails_verification(self, tmp_path, rng):
+        directory = self.freeze(tmp_path, rng)
+        path = directory / "neighbors.npy"
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            CSRGraph.load(directory, verify=True)
+
+    def test_torn_manifest_is_corrupt(self, tmp_path, rng):
+        directory = self.freeze(tmp_path, rng)
+        (directory / META_NAME).write_text("{torn", encoding="utf-8")
+        with pytest.raises(CorruptArtifactError):
+            CSRGraph.load(directory)
+
+    def test_unknown_format_is_corrupt(self, tmp_path, rng):
+        directory = self.freeze(tmp_path, rng)
+        (directory / META_NAME).write_text('{"format": "csr-v99"}', encoding="utf-8")
+        with pytest.raises(CorruptArtifactError, match="format"):
+            CSRGraph.load(directory)
+
+
+class TestExpansionParity:
+    """Property-style: vectorized CSR expansion == pointwise dict expansion."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_default_knobs(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(10, 60))
+        pairs, weights = random_edges(rng, num_nodes)
+        csr = CSRGraph.from_edges(num_nodes, np.array(pairs), weights)
+        legacy = DictReader(num_nodes, pairs, weights)
+        seeds = sorted(
+            rng.choice(num_nodes, size=int(rng.integers(1, 4)), replace=False).tolist()
+        )
+        for depth in (0, 1, 2, 3):
+            assert expansion_key(
+                k_hop_expansion(csr, seeds, depth)
+            ) == expansion_key(k_hop_expansion(legacy, seeds, depth))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_knob_corners(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        num_nodes = int(rng.integers(12, 50))
+        pairs, weights = random_edges(rng, num_nodes)
+        csr = CSRGraph.from_edges(num_nodes, np.array(pairs), weights)
+        legacy = DictReader(num_nodes, pairs, weights)
+        seeds = [int(rng.integers(0, num_nodes))]
+        for min_w in (0.0, 0.3, 0.6):
+            for max_nodes in (None, 1, 5, 20):
+                for cap in (None, 1, 2, 3):
+                    kwargs = dict(
+                        min_edge_weight=min_w,
+                        max_nodes=max_nodes,
+                        max_neighbors_per_node=cap,
+                    )
+                    assert expansion_key(
+                        k_hop_expansion(csr, seeds, 3, **kwargs)
+                    ) == expansion_key(k_hop_expansion(legacy, seeds, 3, **kwargs))
+
+    def test_parity_against_real_snapshot_reader(self, tmp_path, rng):
+        """End to end: the GraphStore's legacy dict reader vs its frozen
+        CSR artifact must expand identically."""
+        num_nodes = 40
+        pairs, weights = random_edges(rng, num_nodes)
+        store = GraphStore(tmp_path / "gs", num_nodes=num_nodes)
+        store.put_edges(pairs, list(weights))
+        version = store.commit_version(tag="parity")
+
+        legacy = store.snapshot_reader(version, use_csr=False)
+        csr = CSRGraph.load(store.csr_path(version))
+        assert legacy.artifact_format == "snapshot"
+        seeds = [pairs[0][0]]
+        for depth in (1, 2, 3):
+            assert expansion_key(
+                k_hop_expansion(csr, seeds, depth)
+            ) == expansion_key(k_hop_expansion(legacy, seeds, depth))
+
+    def test_entity_graph_uses_vectorized_kernel(self, rng):
+        """EntityGraph exposes ``csr_view`` so the in-memory hot path gets
+        the vectorized sweep — with results identical to the pointwise
+        kernel walking the *same* (insertion-ordered) adjacency."""
+        num_nodes = 30
+        pairs, weights = random_edges(rng, num_nodes)
+        graph = EntityGraph.from_edge_list(
+            num_nodes, pairs, weights, [0] * len(pairs)
+        )
+        assert hasattr(graph, "csr_view")
+
+        class PointwiseOnly:
+            num_nodes = graph.num_nodes
+            neighbors = staticmethod(graph.neighbors)
+
+        seeds = [pairs[0][0], pairs[-1][1]]
+        for cap in (None, 2):
+            assert expansion_key(
+                k_hop_expansion(graph, seeds, 2, max_neighbors_per_node=cap)
+            ) == expansion_key(
+                k_hop_expansion(PointwiseOnly(), seeds, 2, max_neighbors_per_node=cap)
+            )
+
+
+class TestTopKDeterminism:
+    """The argpartition cap must match a full stable argsort exactly."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_stable_argsort(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        # Quantized weights force ties — the case argpartition alone gets
+        # wrong without the stable tie-break.
+        weights = rng.integers(0, 5, size=n) / 4.0
+        for k in (1, 2, 3, n // 2 + 1, n, n + 5):
+            expected = np.argsort(-weights, kind="stable")[:k]
+            assert np.array_equal(_top_k_stable(weights, k), expected)
+
+    def test_capped_expansion_is_deterministic(self, rng):
+        pairs, weights = random_edges(rng, num_nodes=30)
+        # All-equal weights: every neighbor ties, so the cap must break
+        # ties by ascending position (== ascending neighbor id) every run.
+        ties = np.full(len(pairs), 0.5)
+        graph = CSRGraph.from_edges(30, np.array(pairs), ties)
+        first = k_hop_expansion(graph, [pairs[0][0]], 2, max_neighbors_per_node=2)
+        for _ in range(3):
+            again = k_hop_expansion(graph, [pairs[0][0]], 2, max_neighbors_per_node=2)
+            assert expansion_key(again) == expansion_key(first)

@@ -1,5 +1,6 @@
 """GraphStore: durability, versioning, recovery."""
 
+import shutil
 import struct
 
 import numpy as np
@@ -230,13 +231,19 @@ class TestCrashRecoveryEdgeCases:
         # Reopen succeeds (the manifest is intact) ...
         reopened = GraphStore(path)
         assert reopened.latest_version() == v
-        # ... but every read path that needs the snapshot fails loudly
-        # instead of silently serving an empty graph.
+        # ... and the pinned reader still serves correctly from the
+        # redundant CSR artifact, but every read path that needs the
+        # snapshot fails loudly instead of silently serving an empty graph.
+        reader = reopened.snapshot_reader(v)
+        assert reader.artifact_format == "csr"
+        assert 1 in reader.neighbors(0)[0]
         with pytest.raises(StorageError):
             reopened.load_version(v)
-        with pytest.raises(StorageError):
-            reopened.snapshot_reader(v)
         with pytest.raises(StorageError):
             reopened.neighbors(0)
         with pytest.raises(StorageError):
             reopened.current_graph()
+        # With the CSR artifact gone as well, the reader fails loudly too.
+        shutil.rmtree(reopened.csr_path(v))
+        with pytest.raises(StorageError):
+            GraphStore(path).snapshot_reader(v)

@@ -9,6 +9,7 @@ startup.
 from __future__ import annotations
 
 import json
+import shutil
 
 import numpy as np
 import pytest
@@ -67,6 +68,9 @@ class TestQuarantine:
         bad = registry.publish_preferences(built_preferences(seed=2), tag="bad")
         bad_path = tmp_path / f"preferences-{bad.version:06d}.npz"
         bad_path.write_bytes(bad_path.read_bytes()[:-50])  # torn write
+        # Lose the redundant memmap sidecar too — with either form intact
+        # the version would still serve correctly.
+        shutil.rmtree(tmp_path / f"preferences-mm-{bad.version:06d}")
 
         with pytest.raises(CorruptArtifactError):
             registry.open_preferences(bad.version)
@@ -78,6 +82,27 @@ class TestQuarantine:
         assert registry.latest(KIND_PREFERENCES).version == good.version
         assert registry.open_preferences().version_tag == "good"
         assert registry.quarantined[-1]["reason"].startswith("checksum mismatch")
+
+    def test_corrupt_sidecar_falls_back_to_npz(self, tmp_path):
+        registry = ArtifactRegistry(root=tmp_path)
+        record = registry.publish_preferences(built_preferences(seed=3), tag="daily")
+        mm_dir = tmp_path / f"preferences-mm-{record.version:06d}"
+        matrix = mm_dir / "user_matrix.npy"
+        matrix.write_bytes(matrix.read_bytes()[:-40])  # torn sidecar array
+
+        # The open still succeeds — served from the intact .npz — while
+        # the bad sidecar is quarantined and the record demoted.
+        store = registry.open_preferences(record.version)
+        assert store.version_tag == "daily"
+        assert store.storage == "npz"
+        assert (tmp_path / QUARANTINE_DIR / mm_dir.name).exists()
+        assert not mm_dir.exists()
+        demoted = registry.latest(KIND_PREFERENCES)
+        assert demoted.aux_path is None and demoted.format == "npz"
+        assert "sidecar" in registry.quarantined[-1]["reason"]
+        # The demotion is durable: a restart serves the .npz directly.
+        reopened = ArtifactRegistry(root=tmp_path)
+        assert reopened.open_preferences(record.version).storage == "npz"
 
     def test_corrupt_artifact_detected_at_startup(self, tmp_path):
         first = ArtifactRegistry(root=tmp_path)

@@ -61,8 +61,10 @@ class TestActivation:
         assert runtime.versions() == {
             "graph_version": 1,
             "graph_tag": "week-0",
+            "graph_format": "memory",
             "preference_version": None,
             "preference_tag": None,
+            "preference_format": None,
         }
         runtime.activate_preferences(build_preferences(world), version=1, tag="daily-1")
         assert runtime.versions()["preference_version"] == 1
