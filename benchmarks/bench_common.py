@@ -10,6 +10,7 @@ reproduced table to ``benchmarks/results/<name>.json`` and a human-readable
 from __future__ import annotations
 
 import json
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -141,6 +142,52 @@ def _ensemble_relation_acc(run, ensemble, panel, week: int) -> float:
     if len(accepted) == 0:
         return 0.0
     return panel.evaluate_relations(accepted, sample_size=400, rng=week).acc
+
+
+def _commit_ish() -> str:
+    """Short commit hash of the checkout, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def record_history(
+    bench: str,
+    metrics: dict,
+    directions: dict | None = None,
+    config: dict | None = None,
+) -> None:
+    """Append one perf-history row per metric to ``results/history.jsonl``.
+
+    The comparator (``repro.obs.perf_history``) reads this file and flags
+    the newest value of each ``(bench, metric)`` series when it regresses
+    beyond tolerance against the trailing median. ``directions`` maps
+    metric names to ``"higher"``/``"lower"`` (is-better); unlisted metrics
+    default to higher-is-better.
+    """
+    import time
+
+    from repro.obs.perf_history import append_history
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    append_history(
+        RESULTS_DIR / "history.jsonl",
+        bench,
+        metrics,
+        directions=directions,
+        commit=_commit_ish(),
+        config=config,
+        timestamp=time.time(),
+    )
 
 
 def save_result(name: str, payload: dict, text: str) -> None:

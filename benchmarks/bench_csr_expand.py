@@ -27,7 +27,7 @@ import numpy as np
 from repro.graph import CSRGraph, GraphStore
 from repro.graph.khop import k_hop_expansion
 
-from bench_common import format_table, save_result
+from bench_common import format_table, record_history, save_result
 
 SMOKE = os.environ.get("BENCH_CSR_SMOKE", "") not in ("", "0")
 NUM_NODES = 4_000 if SMOKE else 40_000
@@ -193,6 +193,16 @@ def test_csr_expand_speedup(benchmark):
         f"(ratio {payload['swap_ratio']:.2f}, gate < {MAX_SWAP_RATIO:.0f}).\n"
     )
     save_result("csr_expand", payload, text)
+    record_history(
+        f"csr_expand_{payload['mode']}",
+        {
+            "speedup": payload["speedup"],
+            "csr_ms_total": payload["csr_ms_total"],
+            "swap_ratio": payload["swap_ratio"],
+        },
+        directions={"csr_ms_total": "lower", "swap_ratio": "lower"},
+        config={"num_nodes": NUM_NODES, "num_edges": NUM_EDGES, "depth": DEPTH},
+    )
 
     # Acceptance gates from the CSR substrate refactor.
     assert payload["speedup"] >= MIN_SPEEDUP

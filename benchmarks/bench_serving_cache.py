@@ -6,22 +6,51 @@ expansion request cold (first hit on a fresh artifact version, full k-hop
 traversal) and warm (served from cache), plus the batched-vs-sequential
 targeting speedup — the two read-path optimisations behind the
 "milliseconds under heavy traffic" serving goal.
+
+Smoke mode (``BENCH_SERVING_SMOKE=1``, used by the CI perf-history job)
+runs the same measurement on a smaller world with fewer warm rounds —
+fast enough for every CI run, same history.jsonl rows.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from types import SimpleNamespace
 
 import numpy as np
 
 from repro.online import EGLSystem
 
-from bench_common import bench_trmp_config, format_table, get_context, save_result
+from bench_common import (
+    bench_trmp_config,
+    format_table,
+    get_context,
+    record_history,
+    save_result,
+)
 
-WARM_ROUNDS = 50
+SMOKE = os.environ.get("BENCH_SERVING_SMOKE", "") not in ("", "0")
+WARM_ROUNDS = 10 if SMOKE else 50
 
 
 def _prepare_system() -> tuple[object, EGLSystem]:
+    if SMOKE:
+        from repro.datasets import (
+            BehaviorConfig,
+            BehaviorLogGenerator,
+            World,
+            WorldConfig,
+        )
+
+        world = World(WorldConfig(num_entities=120, num_users=100, seed=7))
+        generator = BehaviorLogGenerator(world, BehaviorConfig(num_days=10, seed=11))
+        events = generator.generate()
+        system = EGLSystem(world)
+        system.weekly_refresh(events)
+        recent = generator.generate(start_day=100, num_days=10, rng=99)
+        system.daily_preference_refresh(recent)
+        return SimpleNamespace(world=world, generator=generator), system
     context = get_context()
     system = EGLSystem(context.world, bench_trmp_config())
     system.weekly_refresh(context.events)
@@ -71,6 +100,7 @@ def run_bench() -> dict:
     batched_ms = (time.perf_counter() - start) * 1000
 
     return {
+        "mode": "smoke" if SMOKE else "full",
         "per_phrase": per_phrase,
         "cold_ms_mean": float(np.mean([p["cold_ms"] for p in per_phrase])),
         "warm_ms_mean": float(np.mean([p["warm_ms"] for p in per_phrase])),
@@ -114,6 +144,17 @@ def test_serving_cache_cold_vs_warm(benchmark):
         f"preferences v{payload['versions']['preference_version']}.\n"
     )
     save_result("serving_cache", payload, text)
+    record_history(
+        f"serving_cache_{payload['mode']}",
+        {
+            "speedup_mean": payload["speedup_mean"],
+            "warm_ms_mean": payload["warm_ms_mean"],
+            "cold_ms_mean": payload["cold_ms_mean"],
+            "targeting_batch_speedup": payload["targeting_batch_speedup"],
+        },
+        directions={"warm_ms_mean": "lower", "cold_ms_mean": "lower"},
+        config={"warm_rounds": WARM_ROUNDS},
+    )
 
     # Acceptance: warm expansion must be at least 5x faster than cold.
     assert payload["speedup_mean"] >= 5.0

@@ -118,6 +118,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the machine-readable snapshot instead of the exposition",
     )
 
+    journeys = sub.add_parser(
+        "journeys",
+        help="run a mini workload and print per-request journey records (NDJSON)",
+    )
+    journeys.add_argument("--entities", type=int, default=200)
+    journeys.add_argument("--users", type=int, default=150)
+    journeys.add_argument("--seed", type=int, default=7)
+    journeys.add_argument("--requests", type=int, default=10, help="request burst size")
+    journeys.add_argument("--depth", type=int, default=2)
+    journeys.add_argument("--k", type=int, default=20)
+    journeys.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="print only the last N journey records",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a mini workload and print the phase-profiler report",
+    )
+    profile.add_argument("--entities", type=int, default=200)
+    profile.add_argument("--users", type=int, default=150)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--requests", type=int, default=10, help="request burst size")
+    profile.add_argument("--depth", type=int, default=2)
+    profile.add_argument("--k", type=int, default=20)
+    profile.add_argument(
+        "--collapsed", action="store_true",
+        help="print collapsed-stack lines (flamegraph input) instead of JSON",
+    )
+
     refresh = sub.add_parser(
         "refresh", help="run a checkpointed weekly refresh (resumable)"
     )
@@ -346,6 +376,49 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _run_request_burst(args):
+    """Build a refreshed system + service and replay a small request burst."""
+    from repro.online import EGLSystem
+    from repro.online.api import EGLService, ExpandRequest, TargetRequest
+
+    world, generator = _make_world(args)
+    events = generator.generate()
+    system = EGLSystem(world)
+    system.weekly_refresh(events)
+    system.daily_preference_refresh(events)
+
+    service = EGLService(system)
+    popular = sorted(world.entities, key=lambda e: -e.popularity)
+    phrases = [e.name for e in popular[: max(1, min(5, args.requests))]]
+    for i in range(max(1, args.requests)):
+        expand = service.expand(
+            ExpandRequest(phrases=[phrases[i % len(phrases)]], depth=args.depth)
+        )
+        if expand.ok:
+            ids = [e["entity_id"] for e in expand.payload["entities"]][:10]
+            service.target(TargetRequest(entity_ids=ids, k=args.k))
+    return system, service
+
+
+def cmd_journeys(args) -> int:
+    system, _service = _run_request_burst(args)
+    ndjson = system.obs.journeys.to_ndjson(args.tail)
+    print(ndjson, end="" if ndjson.endswith("\n") or not ndjson else "\n")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    system, service = _run_request_burst(args)
+    if args.collapsed:
+        collapsed = system.obs.profiler.collapsed()
+        print(collapsed, end="" if collapsed.endswith("\n") or not collapsed else "\n")
+        return 0
+    print(json.dumps(service.profile_payload(), indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_refresh(args) -> int:
     from repro.online import EGLSystem
     from repro.resilience import FaultInjector, InjectedCrash
@@ -424,6 +497,8 @@ _COMMANDS = {
     "graph-stats": cmd_graph_stats,
     "serve": cmd_serve,
     "metrics": cmd_metrics,
+    "journeys": cmd_journeys,
+    "profile": cmd_profile,
     "refresh": cmd_refresh,
     "rollback": cmd_rollback,
 }

@@ -41,6 +41,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import CorruptArtifactError, StorageError
+from repro.obs.profile import record_mmap_open
 from repro.resilience import atomic_write_bytes, atomic_write_text, file_digest, sha256_hex
 
 #: On-disk format identifier, bumped on incompatible layout changes.
@@ -300,6 +301,8 @@ class CSRGraph:
                 raise CorruptArtifactError(
                     f"CSR artifact array unreadable: {path}"
                 ) from error
+            if mmap:
+                record_mmap_open("graph")
             if arrays[name].dtype != dtype:
                 raise CorruptArtifactError(
                     f"CSR artifact {path} has dtype {arrays[name].dtype}, "

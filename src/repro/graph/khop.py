@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.entity_graph import EntityGraph
+from repro.obs.profile import current_profiler
 
 
 @dataclass
@@ -257,103 +258,122 @@ def _expand_csr(
     and per-row top-k, then a single lexsort-based merge that picks each
     target's best (score, earliest-candidate) parent. Result contents are
     identical to :func:`_expand_pointwise` over the same adjacency order.
+
+    Each stage of the sweep runs under an ambient profiler phase
+    (``expand.csr`` → ``seed_init`` / ``hop.gather`` / ``hop.filter_cap``
+    / ``hop.merge`` / ``hop.admit`` / ``collect``) so ``/profile`` can
+    attribute a cold expansion's wall time; outside a request the shared
+    no-op profiler makes the phase blocks free.
     """
-    offsets, adj_nbrs, adj_ws = graph.csr_view()
-    num_nodes = graph.num_nodes
+    profiler = current_profiler()
+    with profiler.phase("expand.csr"):
+        with profiler.phase("seed_init"):
+            offsets, adj_nbrs, adj_ws = graph.csr_view()
+            num_nodes = graph.num_nodes
 
-    score = np.zeros(num_nodes)
-    parent = np.full(num_nodes, -1, dtype=np.int64)
-    seen = np.zeros(num_nodes, dtype=bool)
-    seed_arr = np.asarray(ordered_seeds, dtype=np.int64)
-    score[seed_arr] = 1.0
-    parent[seed_arr] = seed_arr
-    seen[seed_arr] = True
-    seen_count = len(seed_arr)
+            score = np.zeros(num_nodes)
+            parent = np.full(num_nodes, -1, dtype=np.int64)
+            seen = np.zeros(num_nodes, dtype=bool)
+            seed_arr = np.asarray(ordered_seeds, dtype=np.int64)
+            score[seed_arr] = 1.0
+            parent[seed_arr] = seed_arr
+            seen[seed_arr] = True
+            seen_count = len(seed_arr)
 
-    hops: list[list[int]] = [list(ordered_seeds)]
-    frontier = seed_arr
-    for _ in range(depth):
-        if len(frontier) == 0:
-            break
-        starts = np.asarray(offsets[frontier], dtype=np.int64)
-        ends = np.asarray(offsets[frontier + 1], dtype=np.int64)
-        counts = ends - starts
-        total = int(counts.sum())
-        if total == 0:
-            hops.append([])
-            frontier = np.empty(0, dtype=np.int64)
-            break
-        # Gather all frontier rows: rep[i] says which frontier position
-        # produced candidate i; within a row, candidates keep row order.
-        rep = np.repeat(np.arange(len(frontier)), counts)
-        row_start = np.cumsum(counts) - counts
-        edge_idx = starts[rep] + (np.arange(total) - row_start[rep])
-        nbrs = np.asarray(adj_nbrs[edge_idx], dtype=np.int64)
-        ws = np.asarray(adj_ws[edge_idx])
+            hops: list[list[int]] = [list(ordered_seeds)]
+            frontier = seed_arr
+        for _ in range(depth):
+            if len(frontier) == 0:
+                break
+            with profiler.phase("hop.gather"):
+                starts = np.asarray(offsets[frontier], dtype=np.int64)
+                ends = np.asarray(offsets[frontier + 1], dtype=np.int64)
+                counts = ends - starts
+                total = int(counts.sum())
+                if total:
+                    # Gather all frontier rows: rep[i] says which frontier
+                    # position produced candidate i; within a row,
+                    # candidates keep row order.
+                    rep = np.repeat(np.arange(len(frontier)), counts)
+                    row_start = np.cumsum(counts) - counts
+                    edge_idx = starts[rep] + (np.arange(total) - row_start[rep])
+                    nbrs = np.asarray(adj_nbrs[edge_idx], dtype=np.int64)
+                    ws = np.asarray(adj_ws[edge_idx])
+            if total == 0:
+                hops.append([])
+                frontier = np.empty(0, dtype=np.int64)
+                break
 
-        if min_edge_weight > 0:
-            keep = ws >= min_edge_weight
-            rep, nbrs, ws = rep[keep], nbrs[keep], ws[keep]
-        if max_neighbors_per_node is not None and len(rep):
-            # Reorder every row strongest-first (ties by position) and keep
-            # its first `cap` entries — the bulk form of _top_k_stable.
-            pos = np.arange(len(rep))
-            order = np.lexsort((pos, -ws, rep))
-            rep_sorted = rep[order]
-            row_first = np.flatnonzero(
-                np.r_[True, rep_sorted[1:] != rep_sorted[:-1]]
+            with profiler.phase("hop.filter_cap"):
+                if min_edge_weight > 0:
+                    keep = ws >= min_edge_weight
+                    rep, nbrs, ws = rep[keep], nbrs[keep], ws[keep]
+                if max_neighbors_per_node is not None and len(rep):
+                    # Reorder every row strongest-first (ties by position)
+                    # and keep its first `cap` entries — the bulk form of
+                    # _top_k_stable.
+                    pos = np.arange(len(rep))
+                    order = np.lexsort((pos, -ws, rep))
+                    rep_sorted = rep[order]
+                    row_first = np.flatnonzero(
+                        np.r_[True, rep_sorted[1:] != rep_sorted[:-1]]
+                    )
+                    row_sizes = np.diff(np.r_[row_first, len(rep_sorted)])
+                    rank = np.arange(len(rep_sorted)) - np.repeat(row_first, row_sizes)
+                    order = order[rank < max_neighbors_per_node]
+                    rep, nbrs, ws = rep[order], nbrs[order], ws[order]
+            if len(rep) == 0:
+                hops.append([])
+                frontier = np.empty(0, dtype=np.int64)
+                break
+
+            with profiler.phase("hop.merge"):
+                # Hop-synchronous bases (scores at hop start), float64 like
+                # the pointwise kernel's `base * float(w)`.
+                cand_scores = score[frontier[rep]] * ws.astype(np.float64)
+
+                # Per-target merge: best score wins, earliest candidate on
+                # ties — exactly the pointwise kernel's strictly-greater
+                # update rule.
+                merge = np.lexsort((np.arange(len(nbrs)), -cand_scores, nbrs))
+                nbrs_sorted = nbrs[merge]
+                best_mask = np.r_[True, nbrs_sorted[1:] != nbrs_sorted[:-1]]
+                best_targets = nbrs_sorted[best_mask]
+                best_scores = cand_scores[merge][best_mask]
+                best_parents = frontier[rep[merge]][best_mask]
+
+            with profiler.phase("hop.admit"):
+                # Admission order of new nodes = first occurrence in
+                # candidate order; the max_nodes budget truncates in that
+                # same order.
+                uniq_targets, first_occ = np.unique(nbrs, return_index=True)
+                fresh = ~seen[uniq_targets]
+                admitted = uniq_targets[fresh][np.argsort(first_occ[fresh])]
+                if max_nodes is not None:
+                    admitted = admitted[: max(0, max_nodes - seen_count)]
+                admitted_mask = np.zeros(num_nodes, dtype=bool)
+                admitted_mask[admitted] = True
+
+                new_sel = admitted_mask[best_targets]
+                improve_sel = seen[best_targets] & (best_scores > score[best_targets])
+                commit = new_sel | improve_sel
+                score[best_targets[commit]] = best_scores[commit]
+                parent[best_targets[commit]] = best_parents[commit]
+                seen[admitted] = True
+                seen_count += len(admitted)
+
+                hops.append([int(n) for n in admitted])
+                frontier = admitted
+        with profiler.phase("collect"):
+            while len(hops) < depth + 1:
+                hops.append([])
+
+            scores: dict[int, float] = {}
+            parents: dict[int, int] = {}
+            for hop_nodes in hops:
+                for node in hop_nodes:
+                    scores[node] = float(score[node])
+                    parents[node] = int(parent[node])
+            return ExpansionResult(
+                seeds=ordered_seeds, hops=hops, scores=scores, parents=parents
             )
-            row_sizes = np.diff(np.r_[row_first, len(rep_sorted)])
-            rank = np.arange(len(rep_sorted)) - np.repeat(row_first, row_sizes)
-            order = order[rank < max_neighbors_per_node]
-            rep, nbrs, ws = rep[order], nbrs[order], ws[order]
-        if len(rep) == 0:
-            hops.append([])
-            frontier = np.empty(0, dtype=np.int64)
-            break
-
-        # Hop-synchronous bases (scores at hop start), float64 like the
-        # pointwise kernel's `base * float(w)`.
-        cand_scores = score[frontier[rep]] * ws.astype(np.float64)
-
-        # Per-target merge: best score wins, earliest candidate on ties —
-        # exactly the pointwise kernel's strictly-greater update rule.
-        merge = np.lexsort((np.arange(len(nbrs)), -cand_scores, nbrs))
-        nbrs_sorted = nbrs[merge]
-        best_mask = np.r_[True, nbrs_sorted[1:] != nbrs_sorted[:-1]]
-        best_targets = nbrs_sorted[best_mask]
-        best_scores = cand_scores[merge][best_mask]
-        best_parents = frontier[rep[merge]][best_mask]
-
-        # Admission order of new nodes = first occurrence in candidate
-        # order; the max_nodes budget truncates in that same order.
-        uniq_targets, first_occ = np.unique(nbrs, return_index=True)
-        fresh = ~seen[uniq_targets]
-        admitted = uniq_targets[fresh][np.argsort(first_occ[fresh])]
-        if max_nodes is not None:
-            admitted = admitted[: max(0, max_nodes - seen_count)]
-        admitted_mask = np.zeros(num_nodes, dtype=bool)
-        admitted_mask[admitted] = True
-
-        new_sel = admitted_mask[best_targets]
-        improve_sel = seen[best_targets] & (best_scores > score[best_targets])
-        commit = new_sel | improve_sel
-        score[best_targets[commit]] = best_scores[commit]
-        parent[best_targets[commit]] = best_parents[commit]
-        seen[admitted] = True
-        seen_count += len(admitted)
-
-        hops.append([int(n) for n in admitted])
-        frontier = admitted
-    while len(hops) < depth + 1:
-        hops.append([])
-
-    scores: dict[int, float] = {}
-    parents: dict[int, int] = {}
-    for hop_nodes in hops:
-        for node in hop_nodes:
-            scores[node] = float(score[node])
-            parents[node] = int(parent[node])
-    return ExpansionResult(
-        seeds=ordered_seeds, hops=hops, scores=scores, parents=parents
-    )

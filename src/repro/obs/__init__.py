@@ -19,7 +19,18 @@ just swapped in drift, are we inside our SLOs, should anyone be paged?
     source, so tests freeze time deterministically.
 ``logging``
     :class:`StructuredLogger` — JSON-lines events with trace/span-id
-    correlation injected from the active tracer span.
+    correlation injected from the active tracer span (falling back to
+    the ambient request's correlation id outside any span).
+``context``
+    :class:`RequestContext` — ambient per-request identity (correlation
+    id, deadline, tenant) propagated via ``contextvars`` from the API
+    edge down through runtime, cache, kernels and preference reads, plus
+    the :class:`JourneyLog` ring behind the ``/journeys`` endpoint.
+``profile``
+    :class:`PhaseProfiler` — deterministic phase timers over the hot
+    paths (per-hop frontier sweeps, preference matmul blocks) with
+    collapsed-stack export, and :class:`ResourceAccountant` gauges for
+    per-generation disk/mmap/cache footprints.
 ``drift``
     :class:`DriftMonitor` — artifact-to-artifact :class:`DriftReport`
     (graph churn, PSI/KL score drift, top-K audience overlap) computed at
@@ -42,6 +53,13 @@ against.
 from __future__ import annotations
 
 from repro.obs.clock import Clock, ManualClock
+from repro.obs.context import (
+    JourneyLog,
+    RequestContext,
+    annotate,
+    current_context,
+    current_correlation_id,
+)
 from repro.obs.drift import (
     DriftConfig,
     DriftMonitor,
@@ -58,6 +76,14 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.profile import (
+    NOOP_PROFILER,
+    PhaseProfiler,
+    ResourceAccountant,
+    current_profiler,
+    mmap_open_counts,
+    record_mmap_open,
 )
 from repro.obs.server import TelemetryServer
 from repro.obs.slo import (
@@ -97,6 +123,10 @@ class Observability:
             "system", clock=self.clock, tracer=self.tracer,
             stream=log_stream, enabled=enabled,
         )
+        self.profiler = (
+            PhaseProfiler(clock=self.clock) if enabled else NOOP_PROFILER
+        )
+        self.journeys = JourneyLog()
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -107,6 +137,17 @@ class Observability:
 __all__ = [
     "Clock",
     "ManualClock",
+    "RequestContext",
+    "JourneyLog",
+    "current_context",
+    "current_correlation_id",
+    "annotate",
+    "PhaseProfiler",
+    "NOOP_PROFILER",
+    "current_profiler",
+    "ResourceAccountant",
+    "record_mmap_open",
+    "mmap_open_counts",
     "Counter",
     "Gauge",
     "Histogram",

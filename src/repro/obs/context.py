@@ -1,0 +1,221 @@
+"""Ambient per-request context: correlation ids, deadlines, journeys.
+
+A :class:`RequestContext` is the identity of one in-flight request. The
+API facade binds it into a :mod:`contextvars` variable for the duration
+of the call, so every layer underneath — serving runtime, expansion
+cache, CSR kernels, preference reads — can reach the current request
+without threading a parameter through a dozen signatures. Trace spans,
+structured log records and latency-histogram exemplars all stamp the
+ambient correlation id, which is what makes one request joinable across
+all four telemetry surfaces (logs, traces, ``/journeys``, exemplars).
+
+Correlation ids are small process-wide integers from one shared counter:
+deterministic under test, unique per process, and cheap enough to mint on
+a hot path that answers in ~15µs (an f-string id costs ~0.5µs — a third
+of the whole observability budget — so ids stay ``int`` until render
+time).
+
+Hot-path discipline: the API facade keeps **one** ``RequestContext`` per
+service and re-stamps it per request (fresh id, cleared annotations)
+rather than allocating one; ``bind_context``/``unbind_context`` are the
+pre-bound ``ContextVar.set``/``reset`` methods. Everything layered on top
+(journey rendering, NDJSON) happens at read-out time, never per request.
+
+A :class:`JourneyLog` is the per-system ring of compact journey records —
+one flat tuple per finished request holding the envelope's scalars plus
+the span and expansion-view references, rendered to dicts lazily when
+``/journeys`` or ``cli journeys`` asks. Records deliberately do **not**
+hold the response object: the ring would keep each request's payload
+dict tree alive for a full ring lap, and freeing ~30 dicts from cold
+memory 256 requests later costs far more than freeing them hot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from contextvars import ContextVar
+
+#: Process-wide correlation id mint (ids are unique across every system
+#: and service in the process, so cross-system joins stay unambiguous).
+_CORRELATION_IDS = itertools.count(1)
+next_correlation_id = _CORRELATION_IDS.__next__
+
+#: The ambient request slot. ``None`` outside any request.
+_AMBIENT: ContextVar["RequestContext | None"] = ContextVar(
+    "repro_request_context", default=None
+)
+
+#: Pre-bound set/reset — the API hot path calls these once per request.
+bind_context = _AMBIENT.set
+unbind_context = _AMBIENT.reset
+
+
+class RequestContext:
+    """Identity and scratch state of one in-flight request.
+
+    One instance per service, re-stamped per request (see module
+    docstring). Fields:
+
+    ``correlation_id``
+        Integer id minted per request; ``0`` before the first request.
+    ``tenant``
+        The tenant slot (single-tenant today, a label tomorrow).
+    ``deadline``
+        ``(correlation_id, Deadline)`` when the request carried a
+        ``timeout_ms`` — stamped with the id so a stale value from an
+        earlier request is never mistaken for the current one.
+    ``profiler``
+        The system's :class:`~repro.obs.profile.PhaseProfiler`; hot-path
+        kernels fetch it via :func:`~repro.obs.profile.current_profiler`.
+    ``hops``
+        Scratch slot the expand endpoint fills with the served
+        :class:`~repro.online.reasoning.ExpansionView` (per-hop frontier
+        sizes render from it lazily).
+    ``annotations``
+        Lazily-created dict cold paths write through :func:`annotate`
+        (``cache="miss"``, ``degraded=...``); cleared per request.
+    """
+
+    __slots__ = (
+        "correlation_id", "tenant", "deadline", "profiler", "hops", "annotations",
+    )
+
+    def __init__(self, tenant: str = "default", profiler=None) -> None:
+        self.correlation_id = 0
+        self.tenant = tenant
+        self.deadline = None
+        self.profiler = profiler
+        self.hops = None
+        self.annotations = None
+
+    def current_deadline(self):
+        """The deadline of *this* request, or ``None`` (stale-safe)."""
+        stamped = self.deadline
+        if stamped is not None and stamped[0] == self.correlation_id:
+            return stamped[1]
+        return None
+
+
+def current_context() -> RequestContext | None:
+    """The ambient request context, or ``None`` outside any request."""
+    return _AMBIENT.get()
+
+
+def current_correlation_id() -> int | None:
+    """The ambient correlation id, or ``None`` outside any request."""
+    ctx = _AMBIENT.get()
+    return ctx.correlation_id if ctx is not None else None
+
+
+def annotate(**fields) -> None:
+    """Attach journey annotations to the current request, if any.
+
+    Cold-path helper (cache misses, degraded serving, load shedding):
+    does nothing outside a request, creates the annotation dict lazily so
+    un-annotated (warm) requests never allocate one.
+    """
+    ctx = _AMBIENT.get()
+    if ctx is not None:
+        ann = ctx.annotations
+        if ann is None:
+            ann = ctx.annotations = {}
+        ann.update(fields)
+
+
+#: API responses with these codes count as shed (rejected by admission
+#: machinery rather than failed while computing).
+_SHED_CODES = ("circuit_open", "deadline_exceeded")
+
+
+class JourneyLog:
+    """Bounded ring of per-request journey records.
+
+    ``append`` (pre-bound to the deque's append) takes the raw tuple the
+    API facade builds per request::
+
+        (correlation_id, span, ts, duration_ms, ok, code,
+         graph_version, preference_version, view_or_None,
+         annotations_or_None)
+
+    Envelope fields ride as scalars so the ring never pins a response
+    payload (see module docstring); nothing is formatted until
+    :meth:`tail` / :meth:`to_ndjson` renders — journeys must cost
+    nanoseconds on the request path, not microseconds.
+    """
+
+    __slots__ = ("_ring", "tenant", "append")
+
+    def __init__(self, capacity: int = 256, tenant: str = "default") -> None:
+        self._ring: deque = deque(maxlen=capacity)
+        self.tenant = tenant
+        self.append = self._ring.append
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    # ------------------------------------------------------------------
+    def _render(self, record: tuple) -> dict:
+        (
+            correlation_id, span, ts, duration_ms, ok, code,
+            graph_version, preference_version, view, annotations,
+        ) = record
+        name = span.name
+        endpoint = name[4:] if name.startswith("api.") else name
+        journey = {
+            "correlation_id": correlation_id,
+            "trace_id": span.trace_id,
+            "endpoint": endpoint,
+            "tenant": self.tenant,
+            "ts": ts,
+            "duration_ms": duration_ms,
+            "ok": ok,
+            "code": code,
+            "graph_version": graph_version,
+            "preference_version": preference_version,
+            "cache": annotations.get("cache") if annotations else None,
+            "degraded": bool(annotations.get("degraded")) if annotations else False,
+            "shed": code in _SHED_CODES,
+            "hops": None,
+        }
+        if endpoint == "expand" and ok:
+            # The scratch slot holds the ExpansionView that served *this*
+            # request only when it succeeded (errors leave a stale view
+            # from an earlier request, hence the ``ok`` gate).
+            if view is not None:
+                journey["hops"] = list(view.hop_sizes)
+            if journey["cache"] is None:
+                # The runtime annotates misses; an un-annotated
+                # successful expand was served from the cache.
+                journey["cache"] = "hit"
+        return journey
+
+    def tail(self, n: int | None = None) -> list[dict]:
+        """The most recent ``n`` journeys (all, when ``n`` is ``None``),
+        oldest first, rendered to JSON-safe dicts."""
+        records = list(self._ring)
+        if n is not None and n >= 0:
+            records = records[-n:] if n else []
+        return [self._render(record) for record in records]
+
+    def to_ndjson(self, n: int | None = None) -> str:
+        """NDJSON body for the ``/journeys`` telemetry route."""
+        return "".join(
+            json.dumps(journey) + "\n" for journey in self.tail(n)
+        )
+
+
+__all__ = [
+    "RequestContext",
+    "JourneyLog",
+    "current_context",
+    "current_correlation_id",
+    "annotate",
+    "bind_context",
+    "unbind_context",
+    "next_correlation_id",
+]

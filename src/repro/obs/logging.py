@@ -24,6 +24,7 @@ from typing import IO
 
 from repro.errors import ConfigError
 from repro.obs.clock import Clock
+from repro.obs.context import current_correlation_id
 
 LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
@@ -104,11 +105,19 @@ class StructuredLogger:
             "component": self.component,
             "event": event,
         }
-        if self._tracer is not None:
-            span = self._tracer.current_span()
-            if span is not None:
-                record["trace_id"] = span.trace_id
-                record["span_id"] = span.span_id
+        span = self._tracer.current_span() if self._tracer is not None else None
+        if span is not None:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+            if span.correlation_id is not None:
+                record["correlation_id"] = span.correlation_id
+        else:
+            # Records outside any span (offline refresh, cold-path
+            # helpers) are still joinable when an ambient request is
+            # bound — the satellite fix for correlation-free TRMP logs.
+            correlation_id = current_correlation_id()
+            if correlation_id is not None:
+                record["correlation_id"] = correlation_id
         record.update(fields)
         self._sink.records.append(record)
         stream = self._sink.stream

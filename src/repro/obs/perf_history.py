@@ -1,0 +1,209 @@
+"""Perf-regression history: benchmark rows over time + a trailing-median gate.
+
+Every benchmark in this repo gates a single run against a fixed threshold
+(cache speedup ≥ 5×, obs overhead < 10%, …), which catches cliffs but not
+slow drift. This module gives each metric a *trajectory*: benchmark runs
+append one JSON row per metric to ``benchmarks/results/history.jsonl``::
+
+    {"bench": "serving_cache", "metric": "speedup_mean", "value": 138.2,
+     "direction": "higher", "commit": "2cdf2f5", "config": {...}, "ts": ...}
+
+and :func:`check_regressions` compares each metric's latest value against
+the **trailing median** of its prior rows — the median shrugs off one
+noisy run, and the tolerance band (default ±25%) absorbs machine-to-
+machine variance. ``direction`` says which way is better (``"higher"``
+for speedups/throughput, ``"lower"`` for latencies/overhead); a latest
+value outside the tolerated band on the *bad* side is flagged.
+
+The module doubles as the CI gate::
+
+    python -m repro.obs.perf_history --history benchmarks/results/history.jsonl
+
+exits 0 when nothing regressed (including when history is too short to
+judge — a fresh checkout must not fail CI) and 1 with a report when
+something did. Torn/partial trailing lines are skipped, not fatal:
+benchmark processes may be killed mid-append.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+
+#: Prior runs needed before a metric is judged at all.
+DEFAULT_MIN_HISTORY = 3
+#: Trailing window of prior runs the median is taken over.
+DEFAULT_WINDOW = 8
+#: Allowed fractional move on the bad side before flagging.
+DEFAULT_TOLERANCE = 0.25
+
+
+def append_history(
+    path,
+    bench: str,
+    metrics: dict,
+    directions: dict | None = None,
+    commit: str = "unknown",
+    config: dict | None = None,
+    timestamp: float | None = None,
+) -> list[dict]:
+    """Append one row per metric; returns the rows written.
+
+    ``directions`` maps metric name → ``"higher"`` / ``"lower"``
+    (better); metrics without an entry default to ``"higher"``.
+    """
+    directions = directions or {}
+    rows = []
+    for name, value in metrics.items():
+        value = float(value)
+        rows.append(
+            {
+                "bench": bench,
+                "metric": name,
+                "value": value,
+                "direction": directions.get(name, "higher"),
+                "commit": commit,
+                "config": config or {},
+                "ts": timestamp,
+            }
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+    return rows
+
+
+def load_history(path) -> list[dict]:
+    """All well-formed rows, in file order; torn lines are skipped."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn append from a killed benchmark process
+        if isinstance(row, dict) and "bench" in row and "metric" in row:
+            rows.append(row)
+    return rows
+
+
+def check_regressions(
+    history,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> list[dict]:
+    """Flag metrics whose latest value regressed vs the trailing median.
+
+    ``history`` is a path or a pre-loaded row list. For each
+    ``(bench, metric)`` series with at least ``min_history`` *prior*
+    rows, the latest value is compared against the median of the last
+    ``window`` prior values; a move beyond ``tolerance`` on the bad side
+    (below for ``direction="higher"``, above for ``"lower"``) produces a
+    finding dict with the value, baseline and fractional change.
+    """
+    rows = history if isinstance(history, list) else load_history(history)
+    series: dict[tuple[str, str], list[dict]] = {}
+    for row in rows:
+        series.setdefault((row["bench"], row["metric"]), []).append(row)
+    findings = []
+    for (bench, metric), points in sorted(series.items()):
+        if len(points) < min_history + 1:
+            continue
+        latest = points[-1]
+        prior = [float(p["value"]) for p in points[:-1]][-window:]
+        baseline = median(prior)
+        value = float(latest["value"])
+        direction = latest.get("direction", "higher")
+        if baseline == 0:
+            continue  # a zero baseline makes fractional change meaningless
+        change = (value - baseline) / abs(baseline)
+        regressed = (
+            change < -tolerance if direction == "higher" else change > tolerance
+        )
+        if regressed:
+            findings.append(
+                {
+                    "bench": bench,
+                    "metric": metric,
+                    "value": value,
+                    "baseline_median": baseline,
+                    "change_pct": change * 100.0,
+                    "direction": direction,
+                    "tolerance_pct": tolerance * 100.0,
+                    "commit": latest.get("commit", "unknown"),
+                    "runs": len(points),
+                }
+            )
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Flag benchmark regressions against trailing-median history"
+    )
+    parser.add_argument(
+        "--history",
+        default="benchmarks/results/history.jsonl",
+        help="history.jsonl path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional move on the bad side (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="trailing prior runs the median is taken over (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-history", type=int, default=DEFAULT_MIN_HISTORY,
+        help="prior runs required before judging (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    rows = load_history(args.history)
+    tracked = {(r["bench"], r["metric"]) for r in rows}
+    findings = check_regressions(
+        rows,
+        tolerance=args.tolerance,
+        window=args.window,
+        min_history=args.min_history,
+    )
+    print(
+        f"perf history: {len(rows)} rows, {len(tracked)} tracked metrics "
+        f"({args.history})"
+    )
+    if not findings:
+        print("no regressions beyond tolerance")
+        return 0
+    for f in findings:
+        print(
+            f"REGRESSION {f['bench']}.{f['metric']}: {f['value']:.4g} vs "
+            f"median {f['baseline_median']:.4g} "
+            f"({f['change_pct']:+.1f}%, direction={f['direction']}, "
+            f"tolerance ±{f['tolerance_pct']:.0f}%)"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "append_history",
+    "load_history",
+    "check_regressions",
+    "DEFAULT_MIN_HISTORY",
+    "DEFAULT_WINDOW",
+    "DEFAULT_TOLERANCE",
+]

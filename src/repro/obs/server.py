@@ -32,6 +32,9 @@ from repro.errors import ConfigError
 Route = Callable[[], tuple[str, "str | bytes"]]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 JSON_CONTENT_TYPE = "application/json"
 NDJSON_CONTENT_TYPE = "application/x-ndjson"
 
@@ -75,6 +78,12 @@ class TelemetryServer:
 
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 server._handle(self)
+
+            def do_HEAD(self) -> None:  # noqa: N802 (http.server API)
+                # Load balancers and scrapers probe with HEAD: same
+                # status + headers (including Content-Length) as the GET
+                # would produce, no body bytes on the wire.
+                server._handle(self, include_body=False)
 
             def log_message(self, *args) -> None:
                 pass  # access logs go through the structured logger instead
@@ -127,30 +136,40 @@ class TelemetryServer:
         return sorted(self._routes)
 
     # ------------------------------------------------------------------
-    def _handle(self, handler: BaseHTTPRequestHandler) -> None:
+    def _handle(
+        self, handler: BaseHTTPRequestHandler, include_body: bool = True
+    ) -> None:
         path = self._normalize(handler.path.split("?", 1)[0])
         route = self._routes.get(path)
         if route is None:
             body = json.dumps({"error": f"no route {path!r}", "routes": self.routes()})
-            self._respond(handler, 404, JSON_CONTENT_TYPE, body)
+            self._respond(handler, 404, JSON_CONTENT_TYPE, body, include_body)
         else:
             try:
                 content_type, body = route()
             except Exception as error:  # route bugs must not kill the thread
                 body = json.dumps({"error": f"{type(error).__name__}: {error}"})
-                self._respond(handler, 500, JSON_CONTENT_TYPE, body)
+                self._respond(handler, 500, JSON_CONTENT_TYPE, body, include_body)
             else:
-                self._respond(handler, 200, content_type, body)
+                self._respond(handler, 200, content_type, body, include_body)
 
     def _respond(
-        self, handler: BaseHTTPRequestHandler, status: int, content_type: str, body
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        content_type: str,
+        body,
+        include_body: bool = True,
     ) -> None:
         payload = body.encode("utf-8") if isinstance(body, str) else body
         handler.send_response(status)
         handler.send_header("Content-Type", content_type)
+        # Content-Length always states the body the GET would carry, even
+        # on HEAD responses where the body itself is omitted (RFC 9110).
         handler.send_header("Content-Length", str(len(payload)))
         handler.end_headers()
-        handler.wfile.write(payload)
+        if include_body:
+            handler.wfile.write(payload)
         path = self._normalize(handler.path.split("?", 1)[0])
         if self._metrics is not None:
             self._metrics.counter(
@@ -165,6 +184,7 @@ class TelemetryServer:
 __all__ = [
     "TelemetryServer",
     "PROMETHEUS_CONTENT_TYPE",
+    "OPENMETRICS_CONTENT_TYPE",
     "JSON_CONTENT_TYPE",
     "NDJSON_CONTENT_TYPE",
 ]

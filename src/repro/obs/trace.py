@@ -21,6 +21,7 @@ from collections import deque
 from pathlib import Path
 
 from repro.obs.clock import Clock
+from repro.obs.context import current_correlation_id
 
 
 class Span:
@@ -29,10 +30,16 @@ class Span:
     A span is its own context manager (``with tracer.span(...) as span:``)
     rather than being wrapped in one — spans ride every API request, and a
     second per-span allocation is measurable on the warm path.
+
+    ``correlation_id`` ties the span to the request that produced it:
+    root spans capture it from the ambient request context (or from the
+    caller, on the ``span_fast`` hot path); children inherit their
+    parent's. ``start_time`` is derived (tracer wall offset + perf
+    reading) instead of stored — one slot store fewer per span.
     """
 
     __slots__ = (
-        "name", "trace_id", "span_id", "parent_id", "start_time",
+        "name", "trace_id", "span_id", "parent_id", "correlation_id",
         "duration_ms", "tags", "status", "_start_perf", "_tracer",
     )
 
@@ -43,20 +50,25 @@ class Span:
         trace_id: int,
         span_id: int,
         parent_id: int | None,
-        start_time: float,
         start_perf: float,
         tags: dict,
+        correlation_id: int | None = None,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
-        self.start_time = start_time
+        self.correlation_id = correlation_id
         self.duration_ms = 0.0
         self.tags = tags or None
         self.status = "ok"
         self._start_perf = start_perf
+
+    @property
+    def start_time(self) -> float:
+        """Wall-clock start, derived from the tracer's wall offset."""
+        return self._tracer._wall_offset + self._start_perf
 
     def tag(self, **tags) -> None:
         """Attach/overwrite tags while the span is open."""
@@ -83,6 +95,7 @@ class Span:
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "correlation_id": self.correlation_id,
             "start_time": self.start_time,
             "duration_ms": self.duration_ms,
             "status": self.status,
@@ -145,8 +158,10 @@ class Tracer:
         if parent is None:
             trace_id = self._next_trace
             self._next_trace += 1
+            correlation_id = current_correlation_id()
         else:
             trace_id = parent.trace_id
+            correlation_id = parent.correlation_id
         start_perf = self._perf()
         # Direct slot stores instead of Span.__init__: skips one call frame
         # on a path that runs for every API request.
@@ -156,7 +171,7 @@ class Tracer:
         span.trace_id = trace_id
         span.span_id = self._next_span
         span.parent_id = parent.span_id if parent else None
-        span.start_time = self._wall_offset + start_perf
+        span.correlation_id = correlation_id
         span.duration_ms = 0.0
         # ``None`` instead of an empty dict: untagged spans dominate the
         # ring buffer, and freeing the empty kwargs dict immediately keeps
@@ -168,6 +183,54 @@ class Tracer:
         self._next_span += 1
         stack.append(span)
         return span
+
+    def span_fast(self, name: str, correlation_id: int | None = None,
+                  start_perf: float | None = None):
+        """Hot-path span open: no kwargs dict, caller-supplied perf reading.
+
+        The API facade already read the perf clock for its latency
+        envelope; passing that reading in saves a second clock call per
+        request. The span is *open* on return — close it with
+        :meth:`close_fast` (or use it as a context manager like any other
+        span). Pairs must nest correctly, exactly like ``with`` blocks.
+        """
+        if not self.enabled:
+            return _NOOP_CONTEXT
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+        else:
+            trace_id = parent.trace_id
+            if correlation_id is None:
+                correlation_id = parent.correlation_id
+        span = Span.__new__(Span)
+        span._tracer = self
+        span.name = name
+        span.trace_id = trace_id
+        span.span_id = self._next_span
+        span.parent_id = parent.span_id if parent else None
+        span.correlation_id = correlation_id
+        span.tags = None
+        span.status = "ok"
+        span._start_perf = start_perf if start_perf is not None else self._perf()
+        self._next_span += 1
+        stack.append(span)
+        return span
+
+    def close_fast(self, span: Span, duration_ms: float) -> None:
+        """Finish a ``span_fast`` span with an already-computed duration.
+
+        Skips the ``with``-protocol calls and the extra perf read of
+        ``Span.__exit__`` — the caller (which computed its latency
+        envelope anyway) supplies the duration. ``duration_ms`` becomes
+        the span's recorded duration verbatim, so span and response
+        always agree.
+        """
+        span.duration_ms = duration_ms
+        self._stack.pop()
+        self._finished.append(span)
 
     def current_span(self) -> Span | None:
         """The innermost *open* span, if any — the correlation anchor the

@@ -37,9 +37,16 @@ from repro.errors import (
     StorageError,
 )
 from repro.obs import Observability
+from repro.obs.context import (
+    RequestContext,
+    bind_context,
+    next_correlation_id,
+    unbind_context,
+)
 from repro.obs.server import (
     JSON_CONTENT_TYPE,
     NDJSON_CONTENT_TYPE,
+    OPENMETRICS_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
 )
 from repro.online.system import EGLSystem
@@ -144,18 +151,39 @@ def _validate_target(request: TargetRequest) -> None:
 class EGLService:
     """Request-level wrapper over a prepared :class:`EGLSystem`."""
 
-    def __init__(self, system: EGLSystem, obs: Observability | None = None) -> None:
+    def __init__(
+        self,
+        system: EGLSystem,
+        obs: Observability | None = None,
+        tenant: str = "default",
+    ) -> None:
         self.system = system
         self.obs = obs or getattr(system, "obs", None) or Observability()
+        self.tenant = tenant
         self._perf = self.obs.clock.perf
         self._span = self.obs.tracer.span
         # Per-endpoint metric handles, resolved once: registry lookups sort
         # labels and hash keys, which is too much for the warm request path.
         self._endpoint_obs: dict[str, tuple] = {}
+        # One reusable RequestContext, re-stamped per request; ``None``
+        # when observability is disabled — the hot path branches on it
+        # once instead of re-checking ``obs.enabled`` piecemeal.
+        if self.obs.enabled and self.obs.tracer.enabled:
+            self._ctx = RequestContext(tenant=tenant, profiler=self.obs.profiler)
+            self.obs.journeys.tenant = tenant
+        else:
+            self._ctx = None
+        self._span_fast = self.obs.tracer.span_fast
+        self._span_close = self.obs.tracer.close_fast
+        self._journey_append = self.obs.journeys.append
 
     # ------------------------------------------------------------------
     def _endpoint_bundle(self, endpoint: str) -> tuple:
         metrics = self.obs.metrics
+        histogram = metrics.histogram(
+            "api_request_seconds", help="End-to-end API request latency",
+            endpoint=endpoint,
+        )
         bundle = (
             f"api.{endpoint}",
             metrics.counter(
@@ -166,10 +194,8 @@ class EGLService:
                 "api_requests_total", help="API requests by endpoint and outcome",
                 endpoint=endpoint, status="error",
             ).inc,
-            metrics.histogram(
-                "api_request_seconds", help="End-to-end API request latency",
-                endpoint=endpoint,
-            ).observe,
+            histogram.observe,
+            histogram.observe_with_exemplar,
         )
         self._endpoint_obs[endpoint] = bundle
         return bundle
@@ -178,9 +204,34 @@ class EGLService:
         bundle = self._endpoint_obs.get(endpoint)
         if bundle is None:
             bundle = self._endpoint_bundle(endpoint)
-        span_name, inc_ok, inc_error, observe_latency = bundle
+        span_name, inc_ok, inc_error, observe_latency, observe_exemplar = bundle
         start = self._perf()
-        with self._span(span_name) as span:
+        ctx = self._ctx
+        if ctx is None:  # observability disabled: plain envelope, no journey
+            with self._span(span_name) as span:
+                try:
+                    payload = fn()
+                except ReproError as error:
+                    code = error_code(error)
+                    span.tag(status="error", code=code)
+                    response = self._envelope(
+                        start, ok=False, error=str(error), code=code
+                    )
+                else:
+                    response = self._envelope(start, ok=True, payload=payload)
+            (inc_ok if response.ok else inc_error)()
+            observe_latency(response.elapsed_ms / 1000)
+            return response
+        # Request-journey hot path: mint a correlation id, bind the
+        # ambient context, open the root span on the perf reading already
+        # taken for the envelope, and record one journey tuple. Rendering
+        # (dicts, JSON) is deferred to read-out; everything here is slot
+        # stores and pre-bound calls — the <10% obs-overhead gate leaves
+        # this path a budget of nanoseconds, not microseconds.
+        correlation_id = ctx.correlation_id = next_correlation_id()
+        token = bind_context(ctx)
+        span = self._span_fast(span_name, correlation_id, start)
+        try:
             try:
                 payload = fn()
             except ReproError as error:
@@ -191,8 +242,39 @@ class EGLService:
                 )
             else:
                 response = self._envelope(start, ok=True, payload=payload)
+        except BaseException:
+            # Non-ReproError escape: close out span + context, then let
+            # the caller see the crash.
+            span.status = "error"
+            self._span_close(span, (self._perf() - start) * 1000)
+            unbind_context(token)
+            raise
+        unbind_context(token)
+        self._span_close(span, response.elapsed_ms)
         (inc_ok if response.ok else inc_error)()
-        observe_latency(response.elapsed_ms / 1000)
+        observe_exemplar(
+            response.elapsed_ms / 1000, correlation_id, span.trace_id
+        )
+        annotations = ctx.annotations
+        if annotations is not None:
+            ctx.annotations = None
+        # The record carries the envelope's *scalars*, never the response
+        # itself: retaining the payload dict tree in the ring would defer
+        # its deallocation 256 requests (one ring lap), turning a hot
+        # freelist free into a cache-cold one — measurably worse than the
+        # six attribute loads this costs.
+        self._journey_append((
+            correlation_id,
+            span,
+            response.timestamp,
+            response.elapsed_ms,
+            response.ok,
+            response.code,
+            response.graph_version,
+            response.preference_version,
+            ctx.hops,
+            annotations,
+        ))
         return response
 
     def _envelope(
@@ -219,11 +301,18 @@ class EGLService:
     def _deadline(self, timeout_ms: float | None) -> Deadline | None:
         if timeout_ms is None:
             return None
-        return Deadline.after(timeout_ms / 1000, clock=self.obs.clock)
+        deadline = Deadline.after(timeout_ms / 1000, clock=self.obs.clock)
+        ctx = self._ctx
+        if ctx is not None:
+            # Stamped with the correlation id so a leftover deadline from
+            # an earlier request is never read as the current one.
+            ctx.deadline = (ctx.correlation_id, deadline)
+        return deadline
 
     # ------------------------------------------------------------------
     def expand(self, request: ExpandRequest) -> ApiResponse:
         """Phrase → k-hop subgraph, as plain dicts (Fig. 6 steps 1-2)."""
+        ctx = self._ctx
 
         def run() -> dict:
             _validate_expand(request)
@@ -233,6 +322,10 @@ class EGLService:
                 min_score=request.min_score,
                 deadline=self._deadline(request.timeout_ms),
             )
+            if ctx is not None:
+                # Journey scratch: per-hop frontier sizes render lazily
+                # from the served view at /journeys read-out time.
+                ctx.hops = view
             return {
                 "seeds": view.seeds,
                 "entities": [
@@ -367,6 +460,15 @@ class EGLService:
         payload["signals"] = self.system.quality_signals()
         return payload
 
+    def profile_payload(self) -> dict:
+        """Latest phase-profiler report + per-generation resource usage."""
+        payload = self.obs.profiler.report()
+        resources = getattr(self.system, "resources", None)
+        if resources is not None:
+            payload["resources"] = resources.usage()
+        payload["cache"] = self.system.runtime.cache_stats()
+        return payload
+
     def telemetry_routes(self) -> dict:
         """The route table a :class:`~repro.obs.TelemetryServer` serves.
 
@@ -376,6 +478,12 @@ class EGLService:
         """
         return {
             "/metrics": lambda: (PROMETHEUS_CONTENT_TYPE, self.metrics_text()),
+            # Same families as /metrics in OpenMetrics 1.0 text — the only
+            # exposition that can carry exemplars (correlation/trace ids on
+            # the histogram buckets a request landed in).
+            "/metrics-openmetrics": lambda: (
+                OPENMETRICS_CONTENT_TYPE, self.obs.metrics.render_openmetrics(),
+            ),
             "/health": lambda: (
                 JSON_CONTENT_TYPE, json.dumps(self.health().to_dict()),
             ),
@@ -386,5 +494,11 @@ class EGLService:
                 "".join(
                     json.dumps(row) + "\n" for row in self.obs.tracer.to_dicts()
                 ),
+            ),
+            "/journeys": lambda: (
+                NDJSON_CONTENT_TYPE, self.obs.journeys.to_ndjson(),
+            ),
+            "/profile": lambda: (
+                JSON_CONTENT_TYPE, json.dumps(self.profile_payload()),
             ),
         }

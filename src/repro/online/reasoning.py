@@ -42,6 +42,11 @@ class ExpansionView:
     entities: list[EntityView]
     raw: ExpansionResult
 
+    @property
+    def hop_sizes(self) -> tuple[int, ...]:
+        """Frontier size per hop (hop 0 = seeds), for journey records."""
+        return tuple(len(h) for h in self.raw.hops)
+
     def at_hop(self, hop: int) -> list[EntityView]:
         return [e for e in self.entities if e.hop == hop]
 

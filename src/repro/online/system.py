@@ -39,6 +39,7 @@ from repro.obs import (
     DriftConfig,
     DriftMonitor,
     Observability,
+    ResourceAccountant,
     SLOTracker,
     default_alert_rules,
     default_objectives,
@@ -152,6 +153,11 @@ class EGLSystem:
             clock=self.obs.clock,
             metrics=self.obs.metrics,
             logger=self.obs.logger.child("alerts"),
+        )
+        # Per-generation footprint gauges (disk bytes, generation counts,
+        # mmap opens) exported via read-time collectors and ``/profile``.
+        self.resources = ResourceAccountant(
+            metrics=self.obs.metrics, registry=self.registry
         )
 
     # ------------------------------------------------------------------

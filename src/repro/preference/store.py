@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigError, CorruptArtifactError, NotFittedError, StorageError
+from repro.obs.profile import current_profiler, record_mmap_open
 from repro.preference.user_embedding import user_embedding_matrix
 from repro.resilience import atomic_write_bytes, atomic_write_text, file_digest, sha256_hex
 from repro.text.sequence_extractor import UserEntitySequence
@@ -200,42 +201,51 @@ class PreferenceStore:
             raise ConfigError("need at least one entity to target users")
         if weights is not None and len(weights) != len(entity_sets):
             raise ConfigError("weights must align with entity_sets")
-        union = sorted({int(e) for ids in entity_sets for e in ids})
-        union_ids = np.asarray(union, dtype=np.int64)
-        column = {e: i for i, e in enumerate(union)}
-        # (users, union) — the single shared forward pass.
-        block = self._user_matrix @ self.entity_embeddings[union_ids].T
-        if self.direct_weight:
-            block = block + self.direct_weight * self._interaction[:, union_ids]
-        # (union, sets) combine matrix: column i holds set i's normalised
-        # per-entity weights (uniform 1/n for unweighted sets; duplicate
-        # entities accumulate, matching a mean over duplicate columns).
-        combine = np.zeros((len(union), len(entity_sets)))
-        for i, ids in enumerate(entity_sets):
-            w = None if weights is None else weights[i]
-            if w is None:
-                w = np.full(len(ids), 1.0 / len(ids))
-            else:
-                w = np.asarray(w, dtype=np.float64)
-                if w.shape != (len(ids),):
-                    raise ConfigError("weights must align with entity_ids")
-                w = w / max(w.sum(), 1e-12)
-            cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
-            np.add.at(combine[:, i], cols, w)
-        scores_all = block @ combine  # (users, sets)
-        scores_all = np.where(self._covered[:, None], scores_all, -np.inf)
-        k_eff = min(k, int(self._covered.sum()))
-        if k_eff < 1:
-            return [[] for _ in entity_sets]
-        top = np.argpartition(-scores_all, k_eff - 1, axis=0)[:k_eff]
-        top_scores = np.take_along_axis(scores_all, top, axis=0)
-        order = np.argsort(-top_scores, axis=0, kind="stable")
-        top = np.take_along_axis(top, order, axis=0)
-        top_scores = np.take_along_axis(top_scores, order, axis=0)
-        return [
-            [UserScore(int(u), float(s)) for u, s in zip(top[:, i], top_scores[:, i])]
-            for i in range(len(entity_sets))
-        ]
+        profiler = current_profiler()
+        with profiler.phase("preference.top_users"):
+            with profiler.phase("union_block"):
+                union = sorted({int(e) for ids in entity_sets for e in ids})
+                union_ids = np.asarray(union, dtype=np.int64)
+                column = {e: i for i, e in enumerate(union)}
+                # (users, union) — the single shared forward pass.
+                block = self._user_matrix @ self.entity_embeddings[union_ids].T
+                if self.direct_weight:
+                    block = block + self.direct_weight * self._interaction[:, union_ids]
+            with profiler.phase("combine"):
+                # (union, sets) combine matrix: column i holds set i's
+                # normalised per-entity weights (uniform 1/n for unweighted
+                # sets; duplicate entities accumulate, matching a mean over
+                # duplicate columns).
+                combine = np.zeros((len(union), len(entity_sets)))
+                for i, ids in enumerate(entity_sets):
+                    w = None if weights is None else weights[i]
+                    if w is None:
+                        w = np.full(len(ids), 1.0 / len(ids))
+                    else:
+                        w = np.asarray(w, dtype=np.float64)
+                        if w.shape != (len(ids),):
+                            raise ConfigError("weights must align with entity_ids")
+                        w = w / max(w.sum(), 1e-12)
+                    cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
+                    np.add.at(combine[:, i], cols, w)
+            with profiler.phase("rank"):
+                scores_all = block @ combine  # (users, sets)
+                scores_all = np.where(self._covered[:, None], scores_all, -np.inf)
+                k_eff = min(k, int(self._covered.sum()))
+                if k_eff < 1:
+                    return [[] for _ in entity_sets]
+                top = np.argpartition(-scores_all, k_eff - 1, axis=0)[:k_eff]
+                top_scores = np.take_along_axis(scores_all, top, axis=0)
+                order = np.argsort(-top_scores, axis=0, kind="stable")
+                top = np.take_along_axis(top, order, axis=0)
+                top_scores = np.take_along_axis(top_scores, order, axis=0)
+                return [
+                    [
+                        UserScore(int(u), float(s))
+                        for u, s in zip(top[:, i], top_scores[:, i])
+                    ]
+                    for i in range(len(entity_sets))
+                ]
 
     # ------------------------------------------------------------------
     # Artifact serialization (daily producer → serving runtime handoff)
@@ -371,6 +381,8 @@ class PreferenceStore:
                 raise CorruptArtifactError(
                     f"preference artifact array unreadable: {path}"
                 ) from error
+            if mmap:
+                record_mmap_open("preferences")
         try:
             store = cls(
                 arrays["entity_embeddings"],

@@ -61,6 +61,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.obs import Observability
+from repro.obs.context import annotate, current_context
 from repro.obs.drift import DriftMonitor, DriftReport
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult, UserTargeting
@@ -164,16 +165,20 @@ class ServingRuntime:
             "serving_swap_rejections_total", kind="preferences"
         )
         # Bound ``observe`` methods — skips a handle-attribute lookup per
-        # request on the read path.
-        self._observe_expand_miss = metrics.histogram(
+        # request on the read path. The histogram objects themselves are
+        # kept too: miss/target paths exemplar-stamp them when a request
+        # context is bound.
+        self._expand_miss_hist = metrics.histogram(
             "serving_expand_seconds",
             help="k-hop expansion latency on the runtime read path "
                  "(computed expansions only; cache hits are obs-free)",
             outcome="computed",
-        ).observe
-        self._observe_target = metrics.histogram(
+        )
+        self._observe_expand_miss = self._expand_miss_hist.observe
+        self._target_hist = metrics.histogram(
             "serving_target_seconds", help="User-targeting scoring latency"
-        ).observe
+        )
+        self._observe_target = self._target_hist.observe
         self._degraded_gauge = metrics.gauge(
             "serving_degraded", help="1 while any serving breaker is not closed"
         )
@@ -518,7 +523,27 @@ class ServingRuntime:
                     max_nodes=max_nodes,
                 )
         self._cache.put(active.graph_version, key, view)
-        self._observe_expand_miss(self._perf() - start)
+        elapsed = self._perf() - start
+        ctx = current_context()
+        if ctx is None:
+            self._observe_expand_miss(elapsed)
+        else:
+            # Cold path, so the extra bookkeeping is in the noise: mark
+            # the journey as a miss and leave an exemplar linking the
+            # computed-expansion bucket back to this request.
+            annotations = ctx.annotations
+            if annotations is None:
+                annotations = ctx.annotations = {}
+            annotations["cache"] = "miss"
+            self._expand_miss_hist.observe_with_exemplar(
+                elapsed, ctx.correlation_id
+            )
+            self._log.info(
+                "expand_miss",
+                depth=depth,
+                graph_version=active.graph_version,
+                elapsed_ms=elapsed * 1000,
+            )
         return view
 
     def _score(self, endpoint: str, score_with) -> object:
@@ -540,6 +565,7 @@ class ServingRuntime:
                     "preference read path is open and no last-good generation exists"
                 )
             self._degraded_serve_counter.inc()
+            annotate(degraded="preference_read_open")
             return score_with(fallback.targeting)
         targeting = active.require_targeting()  # NotFittedError is not a failure
         try:
@@ -557,6 +583,7 @@ class ServingRuntime:
                 and fallback.targeting is not targeting
             ):
                 self._degraded_serve_counter.inc()
+                annotate(degraded="preference_read_failure")
                 return score_with(fallback.targeting)
             raise
         breaker.record_success()
@@ -577,7 +604,7 @@ class ServingRuntime:
             result = self._score(
                 "target", lambda t: t.target(entity_ids, k, weights=weights)
             )
-        self._observe_target(self._perf() - start)
+        self._observe_target_latency(self._perf() - start)
         return result
 
     def target_batch(
@@ -595,8 +622,15 @@ class ServingRuntime:
                 "target_batch",
                 lambda t: t.target_batch(entity_sets, k, weights=weights),
             )
-        self._observe_target(self._perf() - start)
+        self._observe_target_latency(self._perf() - start)
         return results
+
+    def _observe_target_latency(self, elapsed: float) -> None:
+        ctx = current_context()
+        if ctx is None:
+            self._observe_target(elapsed)
+        else:
+            self._target_hist.observe_with_exemplar(elapsed, ctx.correlation_id)
 
     def target_for_phrases(
         self,
@@ -711,6 +745,10 @@ class ServingRuntime:
     @property
     def cache(self) -> VersionedLRUCache:
         return self._cache
+
+    def cache_stats(self) -> dict:
+        """The expansion cache's counters and approximate footprint."""
+        return self._cache.stats()
 
     def warm(
         self,

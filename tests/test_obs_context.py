@@ -1,0 +1,182 @@
+"""Request context: ambient binding, annotations, deadlines, journeys."""
+
+import json
+
+import pytest
+
+from repro.obs.context import (
+    JourneyLog,
+    RequestContext,
+    annotate,
+    bind_context,
+    current_context,
+    current_correlation_id,
+    next_correlation_id,
+    unbind_context,
+)
+
+
+class _Span:
+    def __init__(self, name, trace_id=7):
+        self.name = name
+        self.trace_id = trace_id
+
+
+class _Response:
+    def __init__(self, ok=True, code=None, elapsed_ms=1.5):
+        self.ok = ok
+        self.code = code
+        self.elapsed_ms = elapsed_ms
+        self.timestamp = 5_000.0
+        self.graph_version = 3
+        self.preference_version = 2
+
+
+class _View:
+    hop_sizes = (1, 4, 9)
+
+
+class TestAmbientBinding:
+    def test_no_context_outside_any_request(self):
+        assert current_context() is None
+        assert current_correlation_id() is None
+
+    def test_bind_unbind_roundtrip(self):
+        ctx = RequestContext()
+        ctx.correlation_id = next_correlation_id()
+        token = bind_context(ctx)
+        try:
+            assert current_context() is ctx
+            assert current_correlation_id() == ctx.correlation_id
+        finally:
+            unbind_context(token)
+        assert current_context() is None
+
+    def test_correlation_ids_are_unique_and_increasing(self):
+        first = next_correlation_id()
+        second = next_correlation_id()
+        assert second == first + 1
+
+    def test_annotate_is_noop_outside_a_request(self):
+        annotate(cache="miss")  # must not raise and must not leak anywhere
+        assert current_context() is None
+
+    def test_annotate_lazily_creates_the_dict(self):
+        ctx = RequestContext()
+        token = bind_context(ctx)
+        try:
+            assert ctx.annotations is None
+            annotate(cache="miss")
+            annotate(degraded="preference_read_open")
+            assert ctx.annotations == {
+                "cache": "miss",
+                "degraded": "preference_read_open",
+            }
+        finally:
+            unbind_context(token)
+
+
+class TestDeadlineStamping:
+    def test_deadline_from_an_earlier_request_is_not_returned(self):
+        ctx = RequestContext()
+        ctx.correlation_id = 10
+        ctx.deadline = (10, "deadline-object")
+        assert ctx.current_deadline() == "deadline-object"
+        # Next request re-stamps the id but not the deadline: stale.
+        ctx.correlation_id = 11
+        assert ctx.current_deadline() is None
+
+
+class TestJourneyLog:
+    def _record(self, correlation_id=1, span=None, response=None, view=None,
+                annotations=None):
+        # Mirrors the API facade: envelope scalars ride in the record so
+        # the ring never retains the response object itself.
+        response = response or _Response()
+        return (
+            correlation_id,
+            span or _Span("api.expand"),
+            response.timestamp,
+            response.elapsed_ms,
+            response.ok,
+            response.code,
+            response.graph_version,
+            response.preference_version,
+            view,
+            annotations,
+        )
+
+    def test_render_basic_fields(self):
+        log = JourneyLog()
+        log.append(self._record(correlation_id=42, view=_View()))
+        (journey,) = log.tail()
+        assert journey["correlation_id"] == 42
+        assert journey["trace_id"] == 7
+        assert journey["endpoint"] == "expand"
+        assert journey["tenant"] == "default"
+        assert journey["ts"] == 5_000.0
+        assert journey["duration_ms"] == 1.5
+        assert journey["ok"] is True
+        assert journey["graph_version"] == 3
+        assert journey["preference_version"] == 2
+
+    def test_unannotated_ok_expand_renders_as_cache_hit(self):
+        log = JourneyLog()
+        log.append(self._record(view=_View()))
+        (journey,) = log.tail()
+        assert journey["cache"] == "hit"
+        assert journey["hops"] == [1, 4, 9]
+
+    def test_miss_annotation_wins_over_hit_inference(self):
+        log = JourneyLog()
+        log.append(self._record(view=_View(), annotations={"cache": "miss"}))
+        (journey,) = log.tail()
+        assert journey["cache"] == "miss"
+
+    def test_failed_expand_renders_no_hops_and_no_cache_claim(self):
+        response = _Response(ok=False, code="bad_request")
+        log = JourneyLog()
+        log.append(self._record(response=response, view=_View()))
+        (journey,) = log.tail()
+        assert journey["hops"] is None
+        assert journey["cache"] is None
+        assert journey["ok"] is False and journey["code"] == "bad_request"
+
+    def test_shed_flag_derived_from_response_code(self):
+        log = JourneyLog()
+        for code, shed in [
+            ("circuit_open", True),
+            ("deadline_exceeded", True),
+            ("bad_request", False),
+            (None, False),
+        ]:
+            log.clear()
+            log.append(self._record(response=_Response(ok=False, code=code)))
+            assert log.tail()[0]["shed"] is shed
+
+    def test_degraded_flag_from_annotations(self):
+        log = JourneyLog()
+        log.append(self._record(annotations={"degraded": "preference_read_open"}))
+        assert log.tail()[0]["degraded"] is True
+
+    def test_non_api_span_name_passes_through_as_endpoint(self):
+        log = JourneyLog()
+        log.append(self._record(span=_Span("replay.expand")))
+        assert log.tail()[0]["endpoint"] == "replay.expand"
+
+    def test_ring_is_bounded_and_tail_limits(self):
+        log = JourneyLog(capacity=3)
+        for i in range(5):
+            log.append(self._record(correlation_id=i))
+        assert len(log) == 3
+        assert [j["correlation_id"] for j in log.tail()] == [2, 3, 4]
+        assert [j["correlation_id"] for j in log.tail(2)] == [3, 4]
+        assert log.tail(0) == []
+
+    def test_ndjson_is_one_json_object_per_line(self):
+        log = JourneyLog()
+        log.append(self._record(correlation_id=1))
+        log.append(self._record(correlation_id=2))
+        lines = log.to_ndjson().splitlines()
+        assert [json.loads(line)["correlation_id"] for line in lines] == [1, 2]
+        assert log.to_ndjson(0) == ""

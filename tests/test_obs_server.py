@@ -81,6 +81,33 @@ class TestRouting:
         ) == 1
 
 
+class TestHeadAndContentLength:
+    def test_get_carries_content_length(self, server):
+        request = urllib.request.Request(server.url + "/metrics")
+        with urllib.request.urlopen(request, timeout=5) as response:
+            body = response.read()
+            assert int(response.headers["Content-Length"]) == len(body)
+            assert body == b"up 1\n"
+
+    def test_head_returns_headers_without_body(self, server):
+        request = urllib.request.Request(server.url + "/metrics", method="HEAD")
+        with urllib.request.urlopen(request, timeout=5) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            # Content-Length advertises the GET body size; the body itself
+            # must be absent.
+            assert int(response.headers["Content-Length"]) == len(b"up 1\n")
+            assert response.read() == b""
+
+    def test_head_unknown_path_is_bodyless_404(self, server):
+        request = urllib.request.Request(server.url + "/nope", method="HEAD")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=5)
+        assert err.value.code == 404
+        assert err.value.read() == b""
+        assert int(err.value.headers["Content-Length"]) > 0
+
+
 class TestLifecycle:
     def test_empty_route_table_rejected(self):
         with pytest.raises(ConfigError):

@@ -1,0 +1,138 @@
+"""Perf-regression history: append, load, trailing-median gate, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.perf_history import (
+    append_history,
+    check_regressions,
+    load_history,
+    main,
+)
+
+
+def _seed(path, bench, metric, values, direction="higher"):
+    for value in values:
+        append_history(
+            path, bench, {metric: value}, directions={metric: direction}
+        )
+
+
+class TestAppendAndLoad:
+    def test_append_writes_one_row_per_metric(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        rows = append_history(
+            path,
+            "serving_cache",
+            {"speedup_mean": 120.0, "warm_ms_mean": 0.02},
+            directions={"warm_ms_mean": "lower"},
+            commit="abc123",
+            config={"warm_rounds": 50},
+            timestamp=1_000.0,
+        )
+        assert len(rows) == 2
+        loaded = load_history(path)
+        assert len(loaded) == 2
+        by_metric = {r["metric"]: r for r in loaded}
+        assert by_metric["speedup_mean"]["direction"] == "higher"
+        assert by_metric["warm_ms_mean"]["direction"] == "lower"
+        assert by_metric["speedup_mean"]["commit"] == "abc123"
+        assert by_metric["speedup_mean"]["config"] == {"warm_rounds": 50}
+        assert by_metric["speedup_mean"]["ts"] == 1_000.0
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "m", [1.0, 2.0])
+        with path.open("a") as fh:
+            fh.write('{"bench": "b", "metric": "m", "val')  # killed mid-append
+        assert len(load_history(path)) == 2
+
+    def test_non_dict_and_unkeyed_rows_are_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('[1, 2]\n{"foo": 1}\n')
+        assert load_history(path) == []
+
+
+class TestRegressionGate:
+    def test_insufficient_history_is_never_flagged(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "m", [100.0, 10.0])  # huge drop, only 1 prior row
+        assert check_regressions(load_history(path)) == []
+
+    def test_higher_is_better_drop_is_flagged(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "speedup", [100.0, 102.0, 98.0, 60.0])
+        (finding,) = check_regressions(load_history(path))
+        assert finding["metric"] == "speedup"
+        assert finding["baseline_median"] == 100.0
+        assert finding["change_pct"] == pytest.approx(-40.0)
+
+    def test_lower_is_better_rise_is_flagged(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "latency", [10.0, 11.0, 9.0, 20.0], direction="lower")
+        (finding,) = check_regressions(load_history(path))
+        assert finding["direction"] == "lower"
+        assert finding["change_pct"] == pytest.approx(100.0)
+
+    def test_moves_inside_tolerance_pass(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "speedup", [100.0, 100.0, 100.0, 80.0])  # -20% < 25%
+        assert check_regressions(load_history(path)) == []
+
+    def test_good_direction_moves_never_flag(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "speedup", [100.0, 100.0, 100.0, 500.0])
+        _seed(path, "b", "latency", [10.0, 10.0, 10.0, 1.0], direction="lower")
+        assert check_regressions(load_history(path)) == []
+
+    def test_median_shrugs_off_one_noisy_prior_run(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        # One absurd spike in the priors must not poison the baseline.
+        _seed(path, "b", "speedup", [100.0, 5000.0, 100.0, 100.0, 95.0])
+        assert check_regressions(load_history(path)) == []
+
+    def test_window_bounds_the_baseline(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        # Old slow era followed by a fast era; window=3 must only see the
+        # fast era, so the latest fast value passes.
+        _seed(path, "b", "speedup", [10.0] * 5 + [100.0, 100.0, 100.0, 98.0])
+        assert check_regressions(load_history(path), window=3) == []
+
+    def test_zero_baseline_is_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "m", [0.0, 0.0, 0.0, 5.0])
+        assert check_regressions(load_history(path)) == []
+
+    def test_series_are_keyed_by_bench_and_metric(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "bench_a", "m", [100.0, 100.0, 100.0, 100.0])
+        _seed(path, "bench_b", "m", [100.0, 100.0, 100.0, 10.0])
+        (finding,) = check_regressions(load_history(path))
+        assert finding["bench"] == "bench_b"
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_history(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "m", [1.0, 1.0, 1.0, 1.0])
+        assert main(["--history", str(path)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_zero_on_fresh_checkout_without_history(self, tmp_path, capsys):
+        assert main(["--history", str(tmp_path / "none.jsonl")]) == 0
+
+    def test_exit_one_with_report_on_regression(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "m", [100.0, 100.0, 100.0, 10.0])
+        assert main(["--history", str(path)]) == 1
+        assert "REGRESSION b.m" in capsys.readouterr().out
+
+    def test_tolerance_flag_widens_the_band(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed(path, "b", "m", [100.0, 100.0, 100.0, 60.0])
+        assert main(["--history", str(path)]) == 1
+        assert main(["--history", str(path), "--tolerance", "0.5"]) == 0
