@@ -1,0 +1,232 @@
+"""Shard-scaling benchmark: serving throughput at 1 → 8 shards.
+
+Gates the hash-sharded substrate refactor on a targeting-dominated request
+stream (the paper's online mix: k-hop expansion of the marketer's phrases,
+then top-K user selection over the expanded entities):
+
+* the 1-shard baseline is the **legacy unsharded stack** — the flat
+  :class:`GraphStore` CSR reader plus the dense
+  :class:`PreferenceStore` score-block kernel;
+* sharded configurations serve the identical requests through the
+  scatter-gather reader and the sharded preference index, whose
+  precombined kernel folds the combine matrix into the entity side once
+  (``q = E_unionᵀ @ combine``) so every shard scores with a ``(dim, sets)``
+  query instead of materialising the ``(users, union)`` block;
+* every request's ranking must be pointwise identical to the baseline
+  (same users, same order; scores to float round-off) — throughput
+  without parity doesn't count;
+* the gate: >= 2x request throughput at 4 shards vs the 1-shard baseline.
+
+Smoke mode (``BENCH_SHARD_SMOKE=1``, the CI regression gate) runs the same
+parity checks and the same 2x gate on a smaller world.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.graph import GraphStore, ShardedGraphStore, k_hop_expansion
+from repro.preference import PreferenceStore, ShardedPreferenceIndex
+from repro.text.sequence_extractor import UserEntitySequence
+
+from bench_common import format_table, record_history, save_result
+
+SMOKE = os.environ.get("BENCH_SHARD_SMOKE", "") not in ("", "0")
+#: ~10x the tier-1 test world in full mode.
+NUM_ENTITIES = 600 if SMOKE else 2_000
+NUM_USERS = 3_000 if SMOKE else 4_000
+NUM_EDGES = 4_000 if SMOKE else 12_000
+DIM = 64
+NUM_REQUESTS = 20 if SMOKE else 60
+SHARD_COUNTS = [1, 2, 4, 8]
+DEPTH = 2
+#: Expansion cap per request — the targeting union size. The dense block
+#: kernel's cost grows with it; the precombined kernel's does not.
+MAX_NODES = 100
+TOP_K = 50
+MIN_SPEEDUP_4X = 2.0
+
+
+def _random_edges(num_nodes: int, num_edges: int, rng: np.random.Generator):
+    pairs: dict[tuple[int, int], float] = {}
+    while len(pairs) < num_edges:
+        need = num_edges - len(pairs)
+        src = rng.integers(0, num_nodes, size=2 * need)
+        dst = rng.integers(0, num_nodes, size=2 * need)
+        ws = rng.uniform(0.05, 1.0, size=2 * need)
+        keep = src != dst
+        for u, v, w in zip(src[keep], dst[keep], ws[keep]):
+            pairs.setdefault((min(int(u), int(v)), max(int(u), int(v))), float(w))
+            if len(pairs) == num_edges:
+                break
+    edges = sorted(pairs)
+    weights = np.asarray([pairs[e] for e in edges])
+    return np.asarray(edges, dtype=np.int64), weights
+
+
+def _build_preferences(rng: np.random.Generator) -> PreferenceStore:
+    embeddings = rng.standard_normal((NUM_ENTITIES, DIM))
+    sequences = {
+        u: UserEntitySequence(u, [int(x) for x in rng.integers(0, NUM_ENTITIES, 8)])
+        for u in range(NUM_USERS)
+    }
+    store = PreferenceStore(embeddings, head_size=TOP_K)
+    store.build(sequences, NUM_USERS)
+    return store
+
+
+def _serve(graph_reader, preferences, requests):
+    """Run the request stream; return (elapsed_s, responses)."""
+    responses = []
+    # Warm each stack (page-cache, lazy mmaps, numpy dispatch) so the timed
+    # region compares steady-state serving, not first-touch costs.
+    for seeds in requests[:2]:
+        view = k_hop_expansion(graph_reader, seeds, DEPTH, max_nodes=MAX_NODES)
+        preferences.top_users_for_entities(view.entities(), TOP_K)
+    start = time.perf_counter()
+    for seeds in requests:
+        view = k_hop_expansion(graph_reader, seeds, DEPTH, max_nodes=MAX_NODES)
+        entity_ids = view.entities()
+        weights = np.asarray([view.scores[e] for e in entity_ids])
+        users = preferences.top_users_for_entities(entity_ids, TOP_K, weights)
+        responses.append((view.scores, [(u.user_id, u.score) for u in users]))
+    return time.perf_counter() - start, responses
+
+
+def run_bench() -> dict:
+    root = tempfile.mkdtemp(prefix="bench-shards-")
+    try:
+        return _run_bench(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _run_bench(root: str) -> dict:
+    rng = np.random.default_rng(29)
+    pairs, weights = _random_edges(NUM_ENTITIES, NUM_EDGES, rng)
+    dense = _build_preferences(rng)
+    requests = [
+        sorted(int(s) for s in rng.choice(NUM_ENTITIES, size=3, replace=False))
+        for _ in range(NUM_REQUESTS)
+    ]
+
+    # 1-shard baseline: the legacy unsharded serving stack.
+    flat = GraphStore(os.path.join(root, "flat"), num_nodes=NUM_ENTITIES)
+    flat.put_edges(pairs, weights)
+    flat_reader = flat.snapshot_reader(flat.commit_version(tag="bench"))
+    base_elapsed, base_responses = _serve(flat_reader, dense, requests)
+    base_rps = NUM_REQUESTS / base_elapsed
+
+    rows = [{
+        "shards": 1,
+        "stack": "flat CSR + dense",
+        "elapsed_s": base_elapsed,
+        "rps": base_rps,
+        "speedup": 1.0,
+    }]
+    speedups = {1: 1.0}
+    for n_shards in SHARD_COUNTS[1:]:
+        store = ShardedGraphStore(
+            os.path.join(root, f"sharded-{n_shards}"),
+            num_nodes=NUM_ENTITIES,
+            n_shards=n_shards,
+        )
+        store.put_edges(pairs, weights)
+        reader = store.snapshot_reader(store.commit_version(tag="bench"))
+        index = ShardedPreferenceIndex.from_store(dense, n_shards)
+        elapsed, responses = _serve(reader, index, requests)
+
+        # Parity: every request's expansion and ranking must match the
+        # legacy baseline pointwise.
+        for (base_scores, base_users), (scores, users) in zip(
+            base_responses, responses
+        ):
+            assert base_scores == scores
+            assert [u for u, _ in base_users] == [u for u, _ in users]
+            assert np.allclose(
+                [s for _, s in base_users], [s for _, s in users]
+            )
+
+        speedups[n_shards] = base_elapsed / elapsed
+        rows.append({
+            "shards": n_shards,
+            "stack": "scatter-gather + precombined",
+            "elapsed_s": elapsed,
+            "rps": NUM_REQUESTS / elapsed,
+            "speedup": speedups[n_shards],
+        })
+
+    return {
+        "mode": "smoke" if SMOKE else "full",
+        "num_entities": NUM_ENTITIES,
+        "num_users": NUM_USERS,
+        "num_edges": NUM_EDGES,
+        "dim": DIM,
+        "num_requests": NUM_REQUESTS,
+        "depth": DEPTH,
+        "top_k": TOP_K,
+        "per_shard_count": rows,
+        "speedup_2x": speedups.get(2),
+        "speedup_4x": speedups.get(4),
+        "speedup_8x": speedups.get(8),
+        "min_speedup_4x": MIN_SPEEDUP_4X,
+    }
+
+
+def test_shard_scaling_throughput(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    rows = [
+        [
+            r["shards"],
+            r["stack"],
+            f"{r['elapsed_s'] * 1000:.0f}",
+            f"{r['rps']:.0f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in payload["per_shard_count"]
+    ]
+    text = format_table(
+        f"Shard scaling — {payload['num_requests']} expand+target requests, "
+        f"{payload['num_entities']} entities / {payload['num_users']} users "
+        f"({payload['mode']} mode)",
+        ["shards", "stack", "total ms", "req/s", "speedup"],
+        rows,
+    )
+    text += (
+        f"\ngate: >= {payload['min_speedup_4x']:.1f}x at 4 shards vs the "
+        f"legacy 1-shard stack (got {payload['speedup_4x']:.2f}x); every "
+        "request verified pointwise identical across all shard counts.\n"
+    )
+    save_result("shard_scaling", payload, text)
+    record_history(
+        f"shard_scaling_{payload['mode']}",
+        {
+            "speedup_2x": payload["speedup_2x"],
+            "speedup_4x": payload["speedup_4x"],
+            "speedup_8x": payload["speedup_8x"],
+            "baseline_rps": payload["per_shard_count"][0]["rps"],
+        },
+        directions={
+            "speedup_2x": "higher",
+            "speedup_4x": "higher",
+            "speedup_8x": "higher",
+            "baseline_rps": "higher",
+        },
+        config={
+            "num_entities": NUM_ENTITIES,
+            "num_users": NUM_USERS,
+            "num_edges": NUM_EDGES,
+            "num_requests": NUM_REQUESTS,
+            "depth": DEPTH,
+            "top_k": TOP_K,
+        },
+    )
+
+    # Acceptance gate from the sharded-substrate refactor.
+    assert payload["speedup_4x"] >= MIN_SPEEDUP_4X

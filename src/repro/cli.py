@@ -25,6 +25,13 @@ Commands
     text exposition — request counters, latency histograms, cache
     hit/miss counts, artifact version gauges and per-stage TRMP timings.
     ``--json`` prints the machine-readable snapshot instead.
+``shards``
+    Run one sharded offline refresh (``--shards N`` hash partitions) plus
+    a request burst, then print the per-shard serving tables: entities
+    and edges owned per graph shard, users per preference shard, the
+    scatter-gather counters the burst drove, and per-generation disk
+    usage. ``serve`` and ``metrics`` accept ``--shards`` too and grow
+    shard columns when it is above one.
 ``refresh``
     Run one checkpointed weekly refresh against ``--artifact-root``.
     ``--kill-after STAGE`` injects a crash right after that stage
@@ -103,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log-json", action="store_true",
         help="stream structured JSON logs to stdout",
     )
+    serve.add_argument(
+        "--shards", type=int, default=1, dest="n_shards",
+        help="hash-shard the graph & preference substrate into N shards",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="shard worker pool size (default 1 = inline)",
+    )
 
     metrics = sub.add_parser(
         "metrics", help="run a mini workload and print the /metrics exposition"
@@ -117,6 +132,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the machine-readable snapshot instead of the exposition",
     )
+    metrics.add_argument(
+        "--shards", type=int, default=1, dest="n_shards",
+        help="hash-shard the graph & preference substrate into N shards",
+    )
+
+    shards = sub.add_parser(
+        "shards", help="run a sharded refresh and print per-shard serving tables"
+    )
+    shards.add_argument("--entities", type=int, default=200)
+    shards.add_argument("--users", type=int, default=150)
+    shards.add_argument("--seed", type=int, default=7)
+    shards.add_argument(
+        "--shards", type=int, default=4, dest="n_shards",
+        help="hash partition count (fixed per store generation)",
+    )
+    shards.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="shard worker pool size (default 1 = inline)",
+    )
+    shards.add_argument("--requests", type=int, default=10, help="request burst size")
+    shards.add_argument("--depth", type=int, default=2)
+    shards.add_argument("--k", type=int, default=20)
 
     journeys = sub.add_parser(
         "journeys",
@@ -191,6 +228,61 @@ def _make_world(args):
     return world, generator
 
 
+def _make_system(world, args):
+    """An EGLSystem honoring the command's ``--shards`` flag.
+
+    Sharded serving needs an on-disk store (each shard is a versioned
+    store directory), so above one shard the system gets a throwaway
+    store + registry root.
+    """
+    from repro.online import EGLSystem
+
+    n_shards = getattr(args, "n_shards", 1) or 1
+    if n_shards <= 1:
+        return EGLSystem(world)
+    import tempfile
+    from pathlib import Path
+
+    root = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+    return EGLSystem(
+        world,
+        store_path=root / "store",
+        artifact_root=root / "registry",
+        n_shards=n_shards,
+        shard_workers=getattr(args, "shard_workers", None),
+    )
+
+
+def _print_shard_tables(system) -> None:
+    """Per-shard serving tables (the ``shards`` command's main output)."""
+    from repro.obs.profile import mmap_open_counts
+
+    summary = system.runtime.shard_summary()
+    graph_rows = summary.get("graph") or []
+    if graph_rows:
+        print(f"\ngraph shards ({summary['graph_shards']}):")
+        print(f"  {'shard':>5s} {'entities':>9s} {'owned':>8s} {'incident':>9s} "
+              f"{'format':>12s} {'gather rows':>12s} {'candidates':>11s}")
+        for row in graph_rows:
+            print(f"  {row['shard']:>5d} {row['entities']:>9d} {row['edges_owned']:>8d} "
+                  f"{row['edges_incident']:>9d} {row['format']:>12s} "
+                  f"{row['gather_rows']:>12d} {row['gather_candidates']:>11d}")
+    pref_rows = summary.get("preferences") or []
+    if pref_rows:
+        print(f"\npreference shards ({summary['preference_shards']}):")
+        print(f"  {'shard':>5s} {'users':>7s} {'covered':>8s} {'score rows':>11s}")
+        for row in pref_rows:
+            print(f"  {row['shard']:>5d} {row['users']:>7d} {row['covered']:>8d} "
+                  f"{row['score_rows']:>11d}")
+    usage = system.resources.usage()
+    opens = mmap_open_counts()
+    for kind, stats in usage.get("artifacts", {}).items():
+        print(f"{kind}: {stats['generations']} generation(s), "
+              f"{stats['disk_bytes'] / 1024:.1f} KiB on disk, "
+              f"{stats['shards']} shard(s), "
+              f"{opens.get(kind, 0)} mmap open(s)")
+
+
 def cmd_demo(args) -> int:
     from repro.online import EGLSystem
 
@@ -259,15 +351,18 @@ def cmd_serve(args) -> int:
         return 2
     world, generator = _make_world(args)
     events = generator.generate()
-    system = EGLSystem(world)
+    system = _make_system(world, args)
     if args.log_json:
         system.obs.logger.attach_stream(sys.stdout)
     print("publishing offline artifacts...")
     report = system.weekly_refresh(events)
     system.daily_preference_refresh(events)
     versions = system.runtime.versions()
+    shard_note = (
+        f", {versions['graph_shards']} shards" if versions["graph_shards"] > 1 else ""
+    )
     print(f"  graph artifact    v{versions['graph_version']} ({versions['graph_tag']}, "
-          f"format {versions['graph_format']}), {report.num_relations} relations")
+          f"format {versions['graph_format']}{shard_note}), {report.num_relations} relations")
     print(f"  preference artifact v{versions['preference_version']} "
           f"({versions['preference_tag']}, format {versions['preference_format']})")
 
@@ -307,6 +402,8 @@ def cmd_serve(args) -> int:
         if last is not None:
             print(f"drift [{kind}]: {last['severity']} "
                   f"(v{last['old_version']} -> v{last['new_version']})")
+    if health["shards"]["sharded"]:
+        _print_shard_tables(system)
     _print_stage_breakdown(report.stage_seconds)
 
     if args.port is not None:
@@ -350,11 +447,13 @@ def cmd_metrics(args) -> int:
 
     world, generator = _make_world(args)
     events = generator.generate()
-    system = EGLSystem(world)
+    system = _make_system(world, args)
     report = system.weekly_refresh(events)
     system.daily_preference_refresh(events)
     if not args.json:  # keep --json output pure machine-readable JSON
         _print_stage_breakdown(report.stage_seconds)
+        if system.runtime.shard_summary()["sharded"]:
+            _print_shard_tables(system)
 
     service = EGLService(system)
     popular = sorted(world.entities, key=lambda e: -e.popularity)
@@ -373,6 +472,36 @@ def cmd_metrics(args) -> int:
         return 0
     print("\n=== /metrics ===")
     print(service.metrics_text(), end="")
+    return 0
+
+
+def cmd_shards(args) -> int:
+    from repro.online.api import EGLService, ExpandRequest, TargetRequest
+
+    if args.n_shards < 1:
+        print("error: --shards must be a positive integer", file=sys.stderr)
+        return 2
+    world, generator = _make_world(args)
+    events = generator.generate()
+    system = _make_system(world, args)
+    print(f"sharded refresh: {args.n_shards} hash shards, "
+          f"pool size {system.shard_pool.size}")
+    report = system.weekly_refresh(events)
+    system.daily_preference_refresh(events)
+    print(f"graph generation v{report.graph_version} ({report.graph_format}, "
+          f"{report.graph_shards} shards), {report.num_relations} relations")
+
+    service = EGLService(system)
+    popular = sorted(world.entities, key=lambda e: -e.popularity)
+    phrases = [e.name for e in popular[: max(1, min(5, args.requests))]]
+    for i in range(max(1, args.requests)):
+        expand = service.expand(
+            ExpandRequest(phrases=[phrases[i % len(phrases)]], depth=args.depth)
+        )
+        if expand.ok:
+            ids = [e["entity_id"] for e in expand.payload["entities"]][:10]
+            service.target(TargetRequest(entity_ids=ids, k=args.k))
+    _print_shard_tables(system)
     return 0
 
 
@@ -497,6 +626,7 @@ _COMMANDS = {
     "graph-stats": cmd_graph_stats,
     "serve": cmd_serve,
     "metrics": cmd_metrics,
+    "shards": cmd_shards,
     "journeys": cmd_journeys,
     "profile": cmd_profile,
     "refresh": cmd_refresh,

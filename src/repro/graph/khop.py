@@ -188,7 +188,7 @@ def k_hop_expansion(
             seed_set.add(s)
             ordered_seeds.append(s)
 
-    if hasattr(graph, "csr_view"):
+    if hasattr(graph, "csr_view") or hasattr(graph, "gather_frontier"):
         return _expand_csr(
             graph, ordered_seeds, depth, min_edge_weight, max_neighbors_per_node, max_nodes
         )
@@ -252,12 +252,19 @@ def _expand_csr(
     max_neighbors_per_node: int | None,
     max_nodes: int | None,
 ) -> ExpansionResult:
-    """Vectorized frontier sweep over a bulk ``csr_view()``.
+    """Vectorized frontier sweep over a bulk gather.
 
     Per hop: one gather of every frontier row, a vectorized weight filter
     and per-row top-k, then a single lexsort-based merge that picks each
     target's best (score, earliest-candidate) parent. Result contents are
     identical to :func:`_expand_pointwise` over the same adjacency order.
+
+    The gather step is a hook: readers exposing
+    ``gather_frontier(frontier) -> (rep, nbrs, ws)`` (the sharded
+    scatter-gather reader) supply their own; plain ``csr_view()`` readers
+    get the local single-CSR gather. Both produce the candidate stream in
+    the same (frontier order, then row order) layout, so every downstream
+    stage — and therefore the result — is byte-identical either way.
 
     Each stage of the sweep runs under an ambient profiler phase
     (``expand.csr`` → ``seed_init`` / ``hop.gather`` / ``hop.filter_cap``
@@ -268,7 +275,33 @@ def _expand_csr(
     profiler = current_profiler()
     with profiler.phase("expand.csr"):
         with profiler.phase("seed_init"):
-            offsets, adj_nbrs, adj_ws = graph.csr_view()
+            gather_frontier = getattr(graph, "gather_frontier", None)
+            if gather_frontier is None:
+                offsets, adj_nbrs, adj_ws = graph.csr_view()
+
+                def gather_frontier(frontier: np.ndarray):
+                    """Local gather of every frontier row from one CSR."""
+                    starts = np.asarray(offsets[frontier], dtype=np.int64)
+                    ends = np.asarray(offsets[frontier + 1], dtype=np.int64)
+                    counts = ends - starts
+                    total = int(counts.sum())
+                    if total == 0:
+                        return (
+                            np.empty(0, np.int64),
+                            np.empty(0, np.int64),
+                            np.empty(0, adj_ws.dtype),
+                        )
+                    # rep[i] says which frontier position produced candidate
+                    # i; within a row, candidates keep row order.
+                    rep = np.repeat(np.arange(len(frontier)), counts)
+                    row_start = np.cumsum(counts) - counts
+                    edge_idx = starts[rep] + (np.arange(total) - row_start[rep])
+                    return (
+                        rep,
+                        np.asarray(adj_nbrs[edge_idx], dtype=np.int64),
+                        np.asarray(adj_ws[edge_idx]),
+                    )
+
             num_nodes = graph.num_nodes
 
             score = np.zeros(num_nodes)
@@ -286,19 +319,8 @@ def _expand_csr(
             if len(frontier) == 0:
                 break
             with profiler.phase("hop.gather"):
-                starts = np.asarray(offsets[frontier], dtype=np.int64)
-                ends = np.asarray(offsets[frontier + 1], dtype=np.int64)
-                counts = ends - starts
-                total = int(counts.sum())
-                if total:
-                    # Gather all frontier rows: rep[i] says which frontier
-                    # position produced candidate i; within a row,
-                    # candidates keep row order.
-                    rep = np.repeat(np.arange(len(frontier)), counts)
-                    row_start = np.cumsum(counts) - counts
-                    edge_idx = starts[rep] + (np.arange(total) - row_start[rep])
-                    nbrs = np.asarray(adj_nbrs[edge_idx], dtype=np.int64)
-                    ws = np.asarray(adj_ws[edge_idx])
+                rep, nbrs, ws = gather_frontier(frontier)
+                total = len(nbrs)
             if total == 0:
                 hops.append([])
                 frontier = np.empty(0, dtype=np.int64)

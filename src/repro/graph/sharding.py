@@ -1,0 +1,627 @@
+"""Hash-sharded graph substrate — Geabase partitioning at reproduction scale.
+
+The paper's production Geabase spreads the entity graph over many
+partitions and serves reads by scattering to the owning partitions and
+merging at a coordinator (§II-B).  This module is that layer for the
+embedded store:
+
+* a **stable hash partitioner** (:func:`shard_of`, splitmix64 finalizer)
+  assigns every entity id to one of ``n_shards`` shards; the shard count
+  is fixed per store and recorded in every generation manifest, so a
+  reader can never mix routing functions across generations;
+* a :class:`ShardedGraphStore` composes N per-shard :class:`GraphStore`
+  instances (each with its own WAL / snapshot / CSR artifact chain) under
+  a **generation-level manifest** (``SHARDS.json``).  A generation is the
+  unit of visibility: it commits by atomically rewriting the manifest
+  *after* every shard artifact is durable, so a crash between shard
+  commits leaves at most orphan shard versions — never a half-visible
+  generation;
+* a :class:`ShardedSnapshotReader` serves the scatter-gather read path:
+  ``gather_frontier`` routes frontier ids to their owning shards, gathers
+  each shard's CSR rows with the existing vectorized kernel, and
+  reassembles candidates **positionally** into exactly the order the
+  single-CSR kernel would have produced — k-hop expansion over a sharded
+  reader is byte-identical to the unsharded path.
+
+Edge placement: every edge incident to a shard's owned nodes is stored in
+that shard (cross-shard edges are duplicated in both endpoint shards), so
+the CSR row of an owned node is complete and identical — content and
+neighbor order — to the row the global CSR would hold.  Globally unique
+edge counts deduplicate by charging each canonical edge ``(lo, hi)`` to
+``shard_of(lo)``.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.graph.csr import csr_meta_digest
+from repro.graph.entity_graph import EntityGraph
+from repro.graph.storage import GraphStore, SnapshotReader
+from repro.obs.profile import current_profiler
+from repro.resilience.atomic import atomic_write_text
+
+SHARD_MANIFEST = "SHARDS.json"
+SHARDED_GRAPH_FORMAT = "sharded-graph-v1"
+
+#: splitmix64 finalizer constants — fixed forever; changing them would
+#: silently re-route every entity and orphan existing shard artifacts.
+_MIX_0 = np.uint64(0x9E3779B97F4A7C15)
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+
+
+def shard_of(entity_ids, n_shards: int):
+    """Owning shard of each entity id — the stable hash partitioner.
+
+    Vectorized splitmix64 finalizer over the raw id, reduced modulo
+    ``n_shards``.  Pure arithmetic on fixed constants: the mapping depends
+    only on ``(entity_id, n_shards)``, never on process, platform, or
+    insertion order, which is what lets a generation manifest pin routing
+    by recording ``n_shards`` alone.
+
+    Accepts a scalar or an array; returns ``int`` or an int64 array.
+    """
+    if n_shards < 1:
+        raise StorageError("n_shards must be >= 1")
+    scalar = np.isscalar(entity_ids) or getattr(entity_ids, "ndim", 1) == 0
+    ids = np.atleast_1d(np.asarray(entity_ids, dtype=np.uint64))
+    if n_shards == 1:
+        out = np.zeros(len(ids), dtype=np.int64)
+    else:
+        with np.errstate(over="ignore"):
+            x = ids + _MIX_0
+            x = (x ^ (x >> np.uint64(30))) * _MIX_1
+            x = (x ^ (x >> np.uint64(27))) * _MIX_2
+            x = x ^ (x >> np.uint64(31))
+            out = (x % np.uint64(n_shards)).astype(np.int64)
+    return int(out[0]) if scalar else out
+
+
+class ShardWorkerPool:
+    """Thread pool for per-shard work over mmap'd CSR segments.
+
+    Size 1 (the single-core default) runs inline with zero thread
+    overhead; larger pools lazily create a ``ThreadPoolExecutor`` shared
+    by reads, refresh, and drift checks.
+    """
+
+    def __init__(self, size: int | None = None) -> None:
+        self.size = max(1, int(size if size is not None else (1)))
+        self._executor: ThreadPoolExecutor | None = None
+
+    def map(self, fn, items: list) -> list:
+        items = list(items)
+        if self.size <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.size, thread_name_prefix="shard"
+            )
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def _as_edge_arrays(pairs) -> tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(
+        [(int(u), int(v)) for u, v in pairs] if not isinstance(pairs, np.ndarray) else pairs,
+        dtype=np.int64,
+    ).reshape(-1, 2)
+    return arr[:, 0], arr[:, 1]
+
+
+class ShardedGraphStore:
+    """N per-shard :class:`GraphStore` chains under one generation manifest.
+
+    Layout::
+
+        <path>/SHARDS.json            generation manifest (the commit point)
+        <path>/shard-00/              full GraphStore: WAL, snapshots, CSRs
+        <path>/shard-01/
+        ...
+
+    Every shard store spans the full entity-id space (``num_nodes``) and
+    holds **all edges incident to its owned nodes**; an owned node's CSR
+    row is therefore identical to the global row.  ``commit_version``
+    commits each shard (seam ``"shard.commit"`` fires before each one, so
+    chaos tests can kill the process mid-publish) and then publishes the
+    generation by atomically rewriting ``SHARDS.json`` — partial commits
+    leave orphan shard versions that are never referenced, and the
+    previous generation keeps serving.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        num_nodes: int | None = None,
+        n_shards: int | None = None,
+        faults=None,
+    ) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.path / SHARD_MANIFEST
+        self._faults = faults
+
+        if self._manifest_path.exists():
+            self._manifest = json.loads(self._manifest_path.read_text())
+            if self._manifest.get("format") != SHARDED_GRAPH_FORMAT:
+                raise StorageError(
+                    f"unexpected shard manifest format {self._manifest.get('format')!r}"
+                )
+            if num_nodes is not None and num_nodes != self._manifest["num_nodes"]:
+                raise StorageError(
+                    f"sharded store holds {self._manifest['num_nodes']} nodes, "
+                    f"caller expects {num_nodes}"
+                )
+            if n_shards is not None and n_shards != self._manifest["n_shards"]:
+                raise StorageError(
+                    f"shard count is fixed per store: manifest says "
+                    f"{self._manifest['n_shards']}, caller expects {n_shards}"
+                )
+        else:
+            if num_nodes is None or n_shards is None:
+                raise StorageError(
+                    "num_nodes and n_shards are required when creating a sharded store"
+                )
+            if n_shards < 1:
+                raise StorageError("n_shards must be >= 1")
+            self._manifest = {
+                "format": SHARDED_GRAPH_FORMAT,
+                "num_nodes": int(num_nodes),
+                "n_shards": int(n_shards),
+                "generations": [],
+            }
+            self._write_manifest()
+
+        self.num_nodes = int(self._manifest["num_nodes"])
+        self.n_shards = int(self._manifest["n_shards"])
+        self._shards = [
+            GraphStore(self.shard_dir(s), num_nodes=self.num_nodes)
+            for s in range(self.n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    def shard_dir(self, shard: int) -> Path:
+        return self.path / f"shard-{shard:02d}"
+
+    def shard_store(self, shard: int) -> GraphStore:
+        return self._shards[shard]
+
+    def _write_manifest(self) -> None:
+        atomic_write_text(self._manifest_path, json.dumps(self._manifest, indent=2))
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _route(self, pairs, weights, relations):
+        u, v = _as_edge_arrays(pairs)
+        n = len(u)
+        weights = [1.0] * n if weights is None else list(weights)
+        relations = [0] * n if relations is None else list(relations)
+        if len(weights) != n or len(relations) != n:
+            raise StorageError("weights/relations must match pairs length")
+        su = shard_of(u, self.n_shards) if n else np.empty(0, np.int64)
+        sv = shard_of(v, self.n_shards) if n else np.empty(0, np.int64)
+        return u, v, weights, relations, su, sv
+
+    def stage_shard(self, shard: int, pairs, weights=None, relations=None) -> int:
+        """Stage the subset of ``pairs`` incident to ``shard``'s owned nodes.
+
+        Returns the number of edges staged.  Idempotent: re-staging the
+        same batch after a crash overwrites the same memtable keys.
+        """
+        u, v, weights, relations, su, sv = self._route(pairs, weights, relations)
+        idx = np.flatnonzero((su == shard) | (sv == shard))
+        if len(idx) == 0:
+            return 0
+        self._shards[shard].put_edges(
+            [(int(u[i]), int(v[i])) for i in idx],
+            [weights[i] for i in idx],
+            [relations[i] for i in idx],
+        )
+        return int(len(idx))
+
+    def put_edges(self, pairs, weights=None, relations=None) -> None:
+        """Route and stage edges into every owning shard's WAL."""
+        for s in range(self.n_shards):
+            self.stage_shard(s, pairs, weights, relations)
+
+    def delete_edges(self, pairs) -> None:
+        u, v = _as_edge_arrays(pairs)
+        su = shard_of(u, self.n_shards)
+        sv = shard_of(v, self.n_shards)
+        for s in range(self.n_shards):
+            idx = np.flatnonzero((su == s) | (sv == s))
+            if len(idx):
+                self._shards[s].delete_edges([(int(u[i]), int(v[i])) for i in idx])
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+    def commit_shard(self, shard: int, tag: str | None = None) -> dict:
+        """Freeze one shard's staged edges into a new shard version.
+
+        The ``"shard.commit"`` fault seam fires first — a scripted crash
+        here models a process kill between shard commits: earlier shards
+        keep their (unreferenced) new versions, the generation manifest is
+        untouched, and the previous generation stays the only visible one.
+        """
+        if self._faults is not None:
+            self._faults.check("shard.commit")
+        sub = self._shards[shard]
+        version = sub.commit_version(tag=tag)
+        pairs, _, _ = sub._read_snapshot(version)
+        owned = (
+            int((shard_of(pairs[:, 0], self.n_shards) == shard).sum())
+            if len(pairs)
+            else 0
+        )
+        return {
+            "shard": int(shard),
+            "version": int(version),
+            "edges": int(len(pairs)),
+            "edges_owned": owned,
+            "checksum": csr_meta_digest(sub.csr_path(version)),
+        }
+
+    def commit_generation(self, shard_results: list[dict], tag: str | None = None) -> int:
+        """Publish a generation: the atomic manifest rewrite is the commit.
+
+        ``shard_results`` must cover every shard exactly once (the dicts
+        returned by :meth:`commit_shard`).  Re-publishing the same shard
+        versions (a resumed pipeline re-running the freeze stage after the
+        manifest was already written) returns the existing generation
+        instead of appending a duplicate.
+        """
+        by_shard = {int(r["shard"]): r for r in shard_results}
+        if sorted(by_shard) != list(range(self.n_shards)):
+            raise StorageError(
+                f"generation needs all {self.n_shards} shards, got {sorted(by_shard)}"
+            )
+        shards = [by_shard[s] for s in range(self.n_shards)]
+        for r in shards:
+            known = {v["version"] for v in self._shards[r["shard"]].versions()}
+            if r["version"] not in known:
+                raise StorageError(
+                    f"shard {r['shard']} has no committed version {r['version']}"
+                )
+        generations = self._manifest["generations"]
+        if generations:
+            last = generations[-1]
+            if [s["version"] for s in last["shards"]] == [s["version"] for s in shards]:
+                return int(last["generation"])
+        generation = (generations[-1]["generation"] + 1) if generations else 1
+        entry = {
+            "generation": int(generation),
+            "tag": tag or f"g{generation}",
+            "n_shards": self.n_shards,
+            "num_edges": int(sum(r["edges_owned"] for r in shards)),
+            "shards": shards,
+        }
+        generations.append(entry)
+        self._write_manifest()
+        return int(generation)
+
+    def commit_version(self, tag: str | None = None) -> int:
+        """Commit every shard, then publish the generation atomically."""
+        results = [self.commit_shard(s, tag=tag) for s in range(self.n_shards)]
+        return self.commit_generation(results, tag=tag)
+
+    # ------------------------------------------------------------------
+    # Generations / readers
+    # ------------------------------------------------------------------
+    def generations(self) -> list[dict]:
+        return [dict(g) for g in self._manifest["generations"]]
+
+    def latest_generation(self) -> int | None:
+        gens = self._manifest["generations"]
+        return int(gens[-1]["generation"]) if gens else None
+
+    def _generation_entry(self, generation: int | None) -> dict:
+        gens = self._manifest["generations"]
+        if generation is None:
+            if not gens:
+                raise StorageError("no committed generations in this store")
+            return gens[-1]
+        for entry in gens:
+            if entry["generation"] == generation:
+                return entry
+        raise StorageError(
+            f"unknown generation {generation}; have "
+            f"{[g['generation'] for g in gens]}"
+        )
+
+    # GraphStore-compatible surface so registry/runtime/CLI code paths are
+    # uniform: a "version" of a sharded store is a generation.
+    def versions(self) -> list[dict]:
+        return [
+            {
+                "version": g["generation"],
+                "tag": g["tag"],
+                "edges": g["num_edges"],
+                "shards": g["n_shards"],
+            }
+            for g in self._manifest["generations"]
+        ]
+
+    def latest_version(self) -> int | None:
+        return self.latest_generation()
+
+    def snapshot_reader(
+        self, generation: int | None = None, pool: ShardWorkerPool | None = None
+    ) -> "ShardedSnapshotReader":
+        """A pinned scatter-gather reader over one committed generation.
+
+        Refuses to open a generation with a missing or degraded shard
+        artifact: a partially-present generation must never serve.
+        """
+        entry = self._generation_entry(generation)
+        readers: list[SnapshotReader] = []
+        for spec in entry["shards"]:
+            reader = self._shards[spec["shard"]].snapshot_reader(spec["version"])
+            if reader.artifact_format != "csr":
+                raise StorageError(
+                    f"shard {spec['shard']} of generation {entry['generation']} "
+                    f"lost its CSR artifact — refusing to serve a partial generation"
+                )
+            readers.append(reader)
+        return ShardedSnapshotReader(self, entry, readers, pool=pool)
+
+    def artifact_paths(self, generation: int | None = None) -> list[Path]:
+        """Immutable artifact paths of one generation (disk accounting)."""
+        entry = self._generation_entry(generation)
+        paths: list[Path] = []
+        for spec in entry["shards"]:
+            sub = self._shards[spec["shard"]]
+            paths.append(sub.path / f"snapshot-{spec['version']:06d}.npz")
+            paths.append(sub.csr_path(spec["version"]))
+        return paths
+
+    def validate_generation(self, generation: int | None = None) -> list[dict]:
+        """Digest-check every shard CSR of a generation; raise on mismatch."""
+        entry = self._generation_entry(generation)
+        checked = []
+        for spec in entry["shards"]:
+            sub = self._shards[spec["shard"]]
+            digest = csr_meta_digest(sub.csr_path(spec["version"]))
+            if digest != spec["checksum"]:
+                raise StorageError(
+                    f"shard {spec['shard']} CSR digest mismatch for generation "
+                    f"{entry['generation']}: manifest {spec['checksum']!r}, disk {digest!r}"
+                )
+            checked.append({"shard": spec["shard"], "checksum": digest})
+        return checked
+
+    # ------------------------------------------------------------------
+    # Maintenance / stats
+    # ------------------------------------------------------------------
+    def compact(self, keep_last: int = 4) -> int:
+        """Drop all but the newest ``keep_last`` generations (and the shard
+        versions only they referenced)."""
+        if keep_last < 1:
+            raise StorageError("keep_last must be >= 1")
+        gens = self._manifest["generations"]
+        if len(gens) <= keep_last:
+            return 0
+        drop, keep = gens[:-keep_last], gens[-keep_last:]
+        self._manifest["generations"] = keep
+        self._write_manifest()
+        for s, sub in enumerate(self._shards):
+            referenced = [
+                spec["version"]
+                for g in keep
+                for spec in g["shards"]
+                if spec["shard"] == s
+            ]
+            latest = sub.latest_version()
+            if referenced and latest is not None:
+                # Keep everything from the oldest still-referenced version
+                # up (orphans from crashed publishes are newer than it).
+                sub.compact(keep_last=latest - min(referenced) + 1)
+        return len(drop)
+
+    def shard_stats(self) -> list[dict]:
+        stats = []
+        latest = self._manifest["generations"][-1] if self._manifest["generations"] else None
+        for s, sub in enumerate(self._shards):
+            row = {"shard": s, **sub.stats()}
+            if latest is not None:
+                row["generation_version"] = latest["shards"][s]["version"]
+                row["edges_owned"] = latest["shards"][s]["edges_owned"]
+                row["edges_incident"] = latest["shards"][s]["edges"]
+            stats.append(row)
+        return stats
+
+    def stats(self) -> dict:
+        gens = self._manifest["generations"]
+        return {
+            "num_nodes": self.num_nodes,
+            "n_shards": self.n_shards,
+            "num_versions": len(gens),
+            "latest_version": self.latest_generation(),
+            "latest_edges": gens[-1]["num_edges"] if gens else 0,
+            "memtable_entries": sum(len(sub._memtable) for sub in self._shards),
+            "wal_bytes": sum(
+                sub._wal_path.stat().st_size if sub._wal_path.exists() else 0
+                for sub in self._shards
+            ),
+        }
+
+
+class ShardedSnapshotReader:
+    """Immutable scatter-gather view pinned to one committed generation.
+
+    Exposes the ``num_nodes`` / ``neighbors`` / ``graph()`` /
+    ``num_edges`` contract of :class:`SnapshotReader` plus
+    ``gather_frontier`` — the hook :func:`repro.graph.khop.k_hop_expansion`
+    dispatches on.  Deliberately does **not** expose ``csr_view``: there
+    is no single CSR, and the hasattr dispatch must stay honest.
+    """
+
+    def __init__(
+        self,
+        store: ShardedGraphStore,
+        entry: dict,
+        readers: list[SnapshotReader],
+        pool: ShardWorkerPool | None = None,
+    ) -> None:
+        self.num_nodes = store.num_nodes
+        self.n_shards = store.n_shards
+        self.generation = int(entry["generation"])
+        self.version = self.generation
+        self._entry = entry
+        self._readers = readers
+        self._views = [r.csr_view() for r in readers]
+        self._ws_dtype = self._views[0][2].dtype
+        self._owner = shard_of(np.arange(self.num_nodes), self.n_shards)
+        self._pool = pool if pool is not None else ShardWorkerPool(1)
+        #: Plain per-shard read counters, exported with ``shard`` labels by
+        #: the serving runtime's metrics collector (updated coordinator-side,
+        #: so worker threads never race on them).
+        self.shard_gather_rows = [0] * self.n_shards
+        self.shard_gather_candidates = [0] * self.n_shards
+
+    @property
+    def artifact_format(self) -> str:
+        return "csr-sharded"
+
+    @property
+    def num_edges(self) -> int:
+        """Globally unique edges (each canonical edge counted once)."""
+        return int(self._entry["num_edges"])
+
+    # ------------------------------------------------------------------
+    # Scatter-gather read path
+    # ------------------------------------------------------------------
+    def _gather_shard(self, task):
+        """Gather one shard's frontier rows from its local CSR."""
+        shard, idx, nodes = task
+        offsets, adj_nbrs, adj_ws = self._views[shard]
+        starts = np.asarray(offsets[nodes], dtype=np.int64)
+        ends = np.asarray(offsets[nodes + 1], dtype=np.int64)
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            return (
+                shard, idx, counts,
+                np.empty(0, np.int64),
+                np.empty(0, self._ws_dtype),
+                np.empty(0, np.int64),
+                np.empty(0, np.int64),
+            )
+        rep_local = np.repeat(np.arange(len(nodes)), counts)
+        row_start = np.cumsum(counts) - counts
+        within = np.arange(total) - row_start[rep_local]
+        edge_idx = starts[rep_local] + within
+        return (
+            shard, idx, counts,
+            np.asarray(adj_nbrs[edge_idx], dtype=np.int64),
+            np.asarray(adj_ws[edge_idx]),
+            rep_local, within,
+        )
+
+    def gather_frontier(
+        self, frontier: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scatter-gather one hop's frontier across the owning shards.
+
+        Returns ``(rep, nbrs, ws)`` in **exactly** the order the single-CSR
+        kernel produces: frontier rows in frontier order, candidates in row
+        (ascending-neighbor) order.  Because an owned node's shard-local
+        CSR row equals the global row, reassembling each shard's gathered
+        block into positionally computed slots reproduces the unsharded
+        candidate stream bit for bit — no sort, no dedup, no float drift.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        owner = self._owner[frontier]
+        tasks = []
+        for s in range(self.n_shards):
+            idx = np.flatnonzero(owner == s)
+            if len(idx):
+                tasks.append((s, idx, frontier[idx]))
+
+        if self._pool.size > 1 and len(tasks) > 1:
+            results = self._pool.map(self._gather_shard, tasks)
+        else:
+            profiler = current_profiler()
+            results = []
+            for task in tasks:
+                with profiler.phase(f"shard{task[0]:02d}"):
+                    results.append(self._gather_shard(task))
+
+        counts = np.zeros(len(frontier), dtype=np.int64)
+        for shard, idx, cnts, *_ in results:
+            counts[idx] = cnts
+        total = int(counts.sum())
+        rep = np.repeat(np.arange(len(frontier)), counts)
+        out_nbrs = np.empty(total, dtype=np.int64)
+        out_ws = np.empty(total, dtype=self._ws_dtype)
+        if total:
+            out_start = np.cumsum(counts) - counts
+            for shard, idx, cnts, nbrs_s, ws_s, rep_local, within in results:
+                if len(nbrs_s):
+                    dest = out_start[idx[rep_local]] + within
+                    out_nbrs[dest] = nbrs_s
+                    out_ws[dest] = ws_s
+        for shard, idx, cnts, nbrs_s, *_ in results:
+            self.shard_gather_rows[shard] += int(len(idx))
+            self.shard_gather_candidates[shard] += int(len(nbrs_s))
+        return rep, out_nbrs, out_ws
+
+    # ------------------------------------------------------------------
+    # Point reads / materialisation
+    # ------------------------------------------------------------------
+    def neighbors(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise StorageError(f"node {node} out of range")
+        return self._readers[int(self._owner[node])].neighbors(node)
+
+    def _owned_edges(self, shard: int):
+        """Canonical edges charged to ``shard`` (dedup rule: owner of lo)."""
+        g = self._readers[shard].graph()
+        own = shard_of(g.src, self.n_shards) == shard if len(g.src) else np.empty(0, bool)
+        return g.src[own], g.dst[own], g.weight[own], g.relation[own]
+
+    def shard_graph(self, shard: int) -> EntityGraph:
+        """The canonical edges owned by one shard, as an EntityGraph."""
+        src, dst, w, r = self._owned_edges(shard)
+        return EntityGraph(self.num_nodes, src, dst, w, r)
+
+    def graph(self) -> EntityGraph:
+        """Merged global graph: per-shard owned edges, canonically sorted."""
+        parts = [self._owned_edges(s) for s in range(self.n_shards)]
+        src = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+        dst = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+        w = np.concatenate([p[2] for p in parts]) if parts else np.empty(0)
+        r = np.concatenate([p[3] for p in parts]) if parts else np.empty(0, np.int64)
+        order = np.lexsort((dst, src))
+        return EntityGraph(self.num_nodes, src[order], dst[order], w[order], r[order])
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard serving stats (CLI tables, health payloads, metrics)."""
+        owned_counts = np.bincount(self._owner, minlength=self.n_shards)
+        return [
+            {
+                "shard": s,
+                "version": int(spec["version"]),
+                "entities": int(owned_counts[s]),
+                "edges_owned": int(spec["edges_owned"]),
+                "edges_incident": int(spec["edges"]),
+                "format": self._readers[s].artifact_format,
+                "gather_rows": int(self.shard_gather_rows[s]),
+                "gather_candidates": int(self.shard_gather_candidates[s]),
+            }
+            for s, spec in enumerate(self._entry["shards"])
+        ]

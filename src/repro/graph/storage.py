@@ -286,6 +286,15 @@ class GraphStore:
         """Directory of the frozen CSR artifact for ``version``."""
         return self.path / f"csr-{version:06d}"
 
+    def artifact_paths(self, version: int) -> list[Path]:
+        """The immutable on-disk artifacts of one committed version.
+
+        Used by the resource accountant: unlike the store root (which
+        grows as new versions land), each of these paths never changes
+        after commit, so per-path size caching stays accurate.
+        """
+        return [self.path / f"snapshot-{version:06d}.npz", self.csr_path(version)]
+
     def _open_csr(self, version: int) -> CSRGraph | None:
         """Memory-map a version's CSR artifact; ``None`` for legacy versions.
 

@@ -422,6 +422,8 @@ class EGLService:
                 "preferences_ready": runtime_health["preferences_ready"],
                 "ensemble_ready": self.system.pipeline.ensemble is not None,
                 "store": store_stats,
+                "shards": runtime_health["shards"],
+                "quarantined": list(self.system.registry.quarantined),
                 "runtime": runtime_health,
                 "artifacts": {
                     kind: [r.to_dict() for r in self.system.registry.records(kind)]

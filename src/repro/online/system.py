@@ -28,11 +28,13 @@ from repro.datasets.behavior import BehaviorEvent
 from repro.datasets.world import World
 from repro.errors import (
     CircuitOpenError,
+    ConfigError,
     DriftGateError,
     NotFittedError,
     StorageError,
 )
 from repro.graph.entity_graph import EntityGraph
+from repro.graph.sharding import ShardedGraphStore, ShardWorkerPool
 from repro.graph.storage import GraphStore
 from repro.obs import (
     AlertManager,
@@ -48,7 +50,7 @@ from repro.obs.drift import DriftReport
 from repro.online.feedback import FeedbackRecorder
 from repro.online.reasoning import ExpansionView, GraphReasoner
 from repro.online.targeting import TargetingResult
-from repro.preference.store import PreferenceStore
+from repro.preference.store import PreferenceStore, ShardedPreferenceIndex
 from repro.resilience import Deadline, FaultInjector, RetryPolicy
 from repro.serving import ArtifactRegistry, ServingRuntime
 from repro.trmp.pipeline import TRMPConfig, TRMPipeline, WeeklyRun
@@ -89,8 +91,11 @@ class RefreshReport:
     #: resumed and an uninterrupted run of the same seeded refresh.
     artifact_digest: str | None = None
     #: On-disk format of the published graph generation ("csr" when the
-    #: zero-copy artifact was frozen, "snapshot"/"memory" otherwise).
+    #: zero-copy artifact was frozen, "snapshot"/"memory" otherwise;
+    #: "csr-sharded" for a sharded generation).
     graph_format: str | None = None
+    #: Shard count of the published generation (1 = unsharded substrate).
+    graph_shards: int = 1
 
 
 class EGLSystem:
@@ -109,6 +114,8 @@ class EGLSystem:
         gate_on_critical_drift: bool = False,
         retry_policy: RetryPolicy | None = None,
         faults: FaultInjector | None = None,
+        n_shards: int = 1,
+        shard_workers: int | None = None,
     ) -> None:
         self.world = world
         self.obs = obs or Observability()
@@ -117,11 +124,31 @@ class EGLSystem:
         if self.retry.on_retry is None:
             self.retry.on_retry = self._count_retry
         self.feedback = FeedbackRecorder()
-        self.store = (
-            GraphStore(store_path, num_nodes=world.num_entities)
-            if store_path is not None
-            else None
+        if n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if n_shards > 1 and store_path is None:
+            raise ConfigError(
+                "sharded graph serving (n_shards > 1) requires a store_path: "
+                "each shard is a versioned on-disk store"
+            )
+        self.n_shards = int(n_shards)
+        #: Worker pool the scatter-gather read path and the sharded refresh
+        #: share; size 1 (the default) runs shard work inline on the
+        #: coordinator thread — same results, no thread hops.
+        self.shard_pool = ShardWorkerPool(
+            shard_workers if shard_workers is not None else 1
         )
+        if store_path is None:
+            self.store = None
+        elif self.n_shards > 1:
+            self.store = ShardedGraphStore(
+                store_path,
+                num_nodes=world.num_entities,
+                n_shards=self.n_shards,
+                faults=faults,
+            )
+        else:
+            self.store = GraphStore(store_path, num_nodes=world.num_entities)
         self.preference_head_size = preference_head_size
         self.registry = ArtifactRegistry(root=artifact_root, faults=faults)
         self.pipeline = TRMPipeline(
@@ -172,6 +199,54 @@ class EGLSystem:
         self.obs.logger.child("resilience").warning(
             "retry", seam=seam, attempt=attempt, error=str(error)
         )
+
+    def _shard_freeze_stages(self, run: WeeklyRun) -> list:
+        """One checkpointed freeze stage per shard of the week's graph.
+
+        Each stage routes the ranked graph's edges into its shard (staging
+        is idempotent) and freezes them into a new shard version — WAL →
+        snapshot → CSR, returning the :meth:`ShardedGraphStore.commit_shard`
+        payload the generation commit needs. The pipeline checkpoints each
+        stage as ``artifact_freeze.shardNN``, so a refresh killed between
+        shards resumes the remainder without re-freezing completed shards.
+        """
+        tag = f"week-{run.week}"
+        lo, hi = run.ranked_graph.canonical_pairs()
+        pairs = np.stack([lo, hi], axis=1)
+        weights = run.ranked_graph.weight
+        relations = run.ranked_graph.relation
+
+        def freeze_shard(shard: int) -> dict:
+            self.store.stage_shard(shard, pairs, weights, relations)
+            return self.store.commit_shard(shard, tag=tag)
+
+        return [
+            (f"shard{s:02d}", lambda s=s: freeze_shard(s))
+            for s in range(self.n_shards)
+        ]
+
+    def _publish_sharded_generation(self, run: WeeklyRun, shard_payloads: list) -> dict:
+        """Generation-level commit + registry publication (sharded path).
+
+        ``commit_generation`` is the atomic visibility point — until its
+        manifest rewrite lands, the freshly frozen shard versions are
+        unreferenced and serving keeps resolving the previous generation.
+        Re-running after a crash between commit and publication is safe:
+        the same shard versions map back to the existing generation.
+        """
+        tag = f"week-{run.week}"
+        generation = self.store.commit_generation(shard_payloads, tag=tag)
+        record = self.retry.call(
+            lambda: self.registry.publish_graph(self.store, version=generation, tag=tag),
+            seam="registry.publish_graph",
+        )
+        return {
+            "version": record.version,
+            "tag": record.tag,
+            "format": record.format,
+            "shards": record.shards,
+            "digest": graph_digest(run.ranked_graph),
+        }
 
     def _publish_week_graph(self, run: WeeklyRun) -> dict:
         """Commit + publish one week's mined graph; returns a path-free
@@ -226,10 +301,20 @@ class EGLSystem:
             # Freeze + register the mined graph (the registry writes the
             # CSR artifact alongside the snapshot) as its own checkpointed
             # stage: a crash between publication and activation resumes
-            # onto the already-registered generation.
-            frozen = self.pipeline.freeze_artifacts(
-                run_id, lambda: self._publish_week_graph(run), resume=resume
-            )
+            # onto the already-registered generation. Sharded serving
+            # splits the freeze into one checkpointed stage per shard; the
+            # final publish is the generation-level atomic commit.
+            if self.n_shards > 1:
+                frozen = self.pipeline.freeze_artifacts(
+                    run_id,
+                    lambda payloads: self._publish_sharded_generation(run, payloads),
+                    resume=resume,
+                    shard_stages=self._shard_freeze_stages(run),
+                )
+            else:
+                frozen = self.pipeline.freeze_artifacts(
+                    run_id, lambda: self._publish_week_graph(run), resume=resume
+                )
 
             ensemble_trained = False
             if len(self.pipeline.weekly_runs) >= 2:
@@ -240,7 +325,10 @@ class EGLSystem:
             # requests already in flight finish on the previous version.
             reasoner = GraphReasoner(
                 self.retry.call(
-                    lambda: self.registry.open_graph(frozen["version"]),
+                    lambda: self.registry.open_graph(
+                        frozen["version"],
+                        pool=self.shard_pool if self.n_shards > 1 else None,
+                    ),
                     seam="registry.open_graph",
                 ),
                 self.pipeline.entity_dict,
@@ -280,6 +368,7 @@ class EGLSystem:
             resumed_stages=list(run.resumed_stages),
             artifact_digest=graph_digest(run.ranked_graph),
             graph_format=frozen.get("format"),
+            graph_shards=int(frozen.get("shards") or 1),
         )
 
     def daily_preference_refresh(self, events: list[BehaviorEvent]) -> int:
@@ -292,20 +381,31 @@ class EGLSystem:
             store = PreferenceStore(embeddings, head_size=self.preference_head_size)
             store.build(sequences, self.world.num_users)
             record = self.retry.call(
-                lambda: self.registry.publish_preferences(store),
+                lambda: self.registry.publish_preferences(
+                    store, shards=self.n_shards
+                ),
                 seam="registry.publish_preferences",
             )
             serve_store = store
+            if self.n_shards > 1:
+                # Unrooted fallback: serve the sharded index in memory so
+                # the scatter-gather top-K path is exercised either way.
+                serve_store = ShardedPreferenceIndex.from_store(
+                    store, self.n_shards, pool=self.shard_pool
+                )
             if record.source == "file":
                 # Serve the registry's artifact (memmap sidecar preferred):
                 # pages are mapped read-only and shared, not copied.
                 try:
                     serve_store = self.retry.call(
-                        lambda: self.registry.open_preferences(record.version),
+                        lambda: self.registry.open_preferences(
+                            record.version,
+                            pool=self.shard_pool if self.n_shards > 1 else None,
+                        ),
                         seam="registry.open_preferences",
                     )
                 except StorageError:
-                    serve_store = store  # artifact quarantined; serve in-memory
+                    pass  # artifact quarantined; serve the in-memory copy
             try:
                 self.runtime.activate_preferences(
                     serve_store, record.version, tag=record.tag

@@ -5,12 +5,19 @@ from repro.preference.user_embedding import (
     user_embedding,
     user_embedding_matrix,
 )
-from repro.preference.store import PreferenceStore, UserScore
+from repro.preference.store import (
+    PREF_SHARDED_FORMAT,
+    PreferenceStore,
+    ShardedPreferenceIndex,
+    UserScore,
+)
 
 __all__ = [
     "user_embedding",
     "user_embedding_matrix",
     "preference_scores",
     "PreferenceStore",
+    "ShardedPreferenceIndex",
+    "PREF_SHARDED_FORMAT",
     "UserScore",
 ]

@@ -34,13 +34,68 @@ from repro.text.sequence_extractor import UserEntitySequence
 #: On-disk format identifier of the memmap artifact directory.
 PREF_MEMMAP_FORMAT = "pref-mm-v1"
 
+#: On-disk format identifier of the hash-sharded memmap artifact directory.
+PREF_SHARDED_FORMAT = "pref-mm-sharded-v1"
+
 _MEMMAP_ARRAYS = ("entity_embeddings", "user_matrix", "covered", "interaction")
+
+_SHARD_ARRAYS = ("user_ids", "user_matrix", "covered", "interaction")
 
 
 @dataclass
 class UserScore:
     user_id: int
     score: float
+
+
+def _select_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores in **canonical order**.
+
+    Descending score, ties broken by ascending index (= ascending user
+    id). This total order is the ranking contract shared by the dense
+    store and the sharded index: a per-shard top-k under it, merged at a
+    coordinator under it, selects exactly the users the dense ranking
+    would.
+    """
+    n = len(scores)
+    if k >= n:
+        return np.argsort(-scores, kind="stable")[:k]
+    boundary = scores[np.argpartition(-scores, k - 1)[k - 1]]
+    strict = np.flatnonzero(scores > boundary)
+    ties = np.flatnonzero(scores == boundary)
+    chosen = np.concatenate([strict, ties[: k - len(strict)]])
+    return chosen[np.argsort(-scores[chosen], kind="stable")]
+
+
+def _union_ids(entity_sets: list[list[int]]) -> np.ndarray:
+    """Sorted union of all requested entity ids."""
+    return np.asarray(
+        sorted({int(e) for ids in entity_sets for e in ids}), dtype=np.int64
+    )
+
+
+def _combine_matrix(
+    entity_sets: list[list[int]],
+    weights: list | None,
+    union_ids: np.ndarray,
+) -> np.ndarray:
+    """(union, sets) combine matrix: column i holds set i's normalised
+    per-entity weights (uniform 1/n for unweighted sets; duplicate entities
+    accumulate, matching a mean over duplicate columns)."""
+    column = {int(e): i for i, e in enumerate(union_ids)}
+    combine = np.zeros((len(union_ids), len(entity_sets)))
+    for i, ids in enumerate(entity_sets):
+        w = None if weights is None else weights[i]
+        if w is None:
+            w = np.full(len(ids), 1.0 / len(ids))
+        else:
+            w = np.asarray(w, dtype=np.float64)
+            if w.shape != (len(ids),):
+                raise ConfigError("weights must align with entity_ids")
+            w = w / max(w.sum(), 1e-12)
+        cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
+        np.add.at(combine[:, i], cols, w)
+    return combine
 
 
 class PreferenceStore:
@@ -149,8 +204,7 @@ class PreferenceStore:
         if entity_id not in self._heads:
             scores = self.score_entity(entity_id)
             head = min(self.head_size, len(scores))
-            top = np.argpartition(-scores, head - 1)[:head]
-            self._heads[entity_id] = top[np.argsort(-scores[top])]
+            self._heads[entity_id] = _select_top_k(scores, head)
         ranked = self._heads[entity_id][:k]
         scores = self.score_entity(entity_id)
         return [UserScore(int(u), float(scores[u])) for u in ranked if np.isfinite(scores[u])]
@@ -204,45 +258,26 @@ class PreferenceStore:
         profiler = current_profiler()
         with profiler.phase("preference.top_users"):
             with profiler.phase("union_block"):
-                union = sorted({int(e) for ids in entity_sets for e in ids})
-                union_ids = np.asarray(union, dtype=np.int64)
-                column = {e: i for i, e in enumerate(union)}
+                union_ids = _union_ids(entity_sets)
                 # (users, union) — the single shared forward pass.
                 block = self._user_matrix @ self.entity_embeddings[union_ids].T
                 if self.direct_weight:
                     block = block + self.direct_weight * self._interaction[:, union_ids]
             with profiler.phase("combine"):
-                # (union, sets) combine matrix: column i holds set i's
-                # normalised per-entity weights (uniform 1/n for unweighted
-                # sets; duplicate entities accumulate, matching a mean over
-                # duplicate columns).
-                combine = np.zeros((len(union), len(entity_sets)))
-                for i, ids in enumerate(entity_sets):
-                    w = None if weights is None else weights[i]
-                    if w is None:
-                        w = np.full(len(ids), 1.0 / len(ids))
-                    else:
-                        w = np.asarray(w, dtype=np.float64)
-                        if w.shape != (len(ids),):
-                            raise ConfigError("weights must align with entity_ids")
-                        w = w / max(w.sum(), 1e-12)
-                    cols = np.asarray([column[int(e)] for e in ids], dtype=np.int64)
-                    np.add.at(combine[:, i], cols, w)
+                combine = _combine_matrix(entity_sets, weights, union_ids)
             with profiler.phase("rank"):
                 scores_all = block @ combine  # (users, sets)
                 scores_all = np.where(self._covered[:, None], scores_all, -np.inf)
                 k_eff = min(k, int(self._covered.sum()))
                 if k_eff < 1:
                     return [[] for _ in entity_sets]
-                top = np.argpartition(-scores_all, k_eff - 1, axis=0)[:k_eff]
-                top_scores = np.take_along_axis(scores_all, top, axis=0)
-                order = np.argsort(-top_scores, axis=0, kind="stable")
-                top = np.take_along_axis(top, order, axis=0)
-                top_scores = np.take_along_axis(top_scores, order, axis=0)
+                # Canonical per-set selection: descending score, ties by
+                # ascending user id — the same total order the sharded
+                # index's per-shard heaps and coordinator merge use.
                 return [
                     [
-                        UserScore(int(u), float(s))
-                        for u, s in zip(top[:, i], top_scores[:, i])
+                        UserScore(int(u), float(scores_all[u, i]))
+                        for u in _select_top_k(scores_all[:, i], k_eff)
                     ]
                     for i in range(len(entity_sets))
                 ]
@@ -418,3 +453,389 @@ class PreferenceStore:
     def covered_users(self) -> np.ndarray:
         self._require_built()
         return self._covered
+
+
+@dataclass
+class _PreferenceShard:
+    """One shard's slice of the user universe (rows sorted by user id)."""
+
+    user_ids: np.ndarray  # global user ids owned by this shard, ascending
+    user_matrix: np.ndarray  # (users_s, dim)
+    covered: np.ndarray  # (users_s,) bool
+    interaction: np.ndarray  # (users_s, entities)
+    # CSR view of ``interaction``, built lazily on first targeting request.
+    # A user's interaction row has at most sequence-length nonzeros out of
+    # the full entity width, so the direct-preference term is computed per
+    # nonzero instead of gathering a dense (users_s, union) column block.
+    _row_ptr: np.ndarray | None = None
+    _col_idx: np.ndarray | None = None
+    _values: np.ndarray | None = None
+
+    def sparse_interaction(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._row_ptr is None:
+            rows, cols = np.nonzero(self.interaction)
+            counts = np.bincount(rows, minlength=len(self.interaction))
+            self._row_ptr = np.concatenate(
+                [[0], np.cumsum(counts)]
+            ).astype(np.int64)
+            self._col_idx = cols.astype(np.int64)
+            self._values = np.ascontiguousarray(
+                self.interaction[rows, cols], dtype=np.float64
+            )
+        return self._row_ptr, self._col_idx, self._values
+
+
+class ShardedPreferenceIndex:
+    """Hash-sharded serving form of a built :class:`PreferenceStore`.
+
+    Users are partitioned by the same stable hash the graph substrate uses
+    (:func:`repro.graph.sharding.shard_of`); each shard holds its users'
+    embedding / coverage / interaction rows.  Targeting becomes per-shard
+    top-K heaps merged at a coordinator under one canonical total order
+    (descending score, ties by ascending user id) — the identical order
+    the dense kernel ranks by, so the merged top-K names exactly the same
+    users.
+
+    The per-shard scoring kernel is the **precombined** form of the dense
+    pipeline: instead of materialising the full ``(users, union)`` score
+    block and multiplying by the combine matrix, the coordinator folds the
+    combine matrix into the entity embeddings once
+    (``q = E_unionᵀ @ combine``, a ``(dim, sets)`` matrix) and each shard
+    computes ``U_s @ q`` — the same linear map evaluated with
+    ``~|union|/|sets|``-fold fewer flops, which is where the sharded
+    serving path's throughput win comes from.  Scores agree with the dense
+    kernel to float round-off (different summation association), rankings
+    agree exactly under the canonical order.
+    """
+
+    def __init__(
+        self,
+        entity_embeddings: np.ndarray,
+        shards: list[_PreferenceShard],
+        num_users: int,
+        head_size: int = 200,
+        direct_weight: float = 25.0,
+        version_tag: str | None = None,
+        pool=None,
+    ) -> None:
+        self.entity_embeddings = np.asarray(entity_embeddings, dtype=np.float64)
+        self._shards = shards
+        self.n_shards = len(shards)
+        self.num_users = int(num_users)
+        self.head_size = head_size
+        self.direct_weight = direct_weight
+        self.version_tag = version_tag
+        self.storage = "memory-sharded"
+        self._pool = pool
+        self._covered_total: int | None = None
+        #: Per-shard ranked-row counters, exported with ``shard`` labels by
+        #: the serving runtime's metrics collector (coordinator-side only).
+        self.shard_score_rows = [0] * self.n_shards
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls, store: PreferenceStore, n_shards: int, pool=None
+    ) -> "ShardedPreferenceIndex":
+        """Split a built dense store into ``n_shards`` user shards."""
+        from repro.graph.sharding import shard_of
+
+        if n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        user_matrix = store.user_matrix
+        covered = store.covered_users
+        interaction = store._interaction
+        num_users = len(user_matrix)
+        owner = shard_of(np.arange(num_users), n_shards)
+        shards = []
+        for s in range(n_shards):
+            ids = np.flatnonzero(owner == s)
+            shards.append(
+                _PreferenceShard(
+                    user_ids=ids.astype(np.int64),
+                    user_matrix=np.ascontiguousarray(user_matrix[ids]),
+                    covered=np.ascontiguousarray(covered[ids]),
+                    interaction=np.ascontiguousarray(interaction[ids]),
+                )
+            )
+        return cls(
+            store.entity_embeddings,
+            shards,
+            num_users=num_users,
+            head_size=store.head_size,
+            direct_weight=store.direct_weight,
+            version_tag=store.version_tag,
+            pool=pool,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def covered_users(self) -> np.ndarray:
+        out = np.zeros(self.num_users, dtype=bool)
+        for sh in self._shards:
+            out[sh.user_ids] = sh.covered
+        return out
+
+    def _covered_count(self) -> int:
+        if self._covered_total is None:
+            self._covered_total = int(sum(int(sh.covered.sum()) for sh in self._shards))
+        return self._covered_total
+
+    def score_entity(self, entity_id: int) -> np.ndarray:
+        """All users' preference scores for one entity (uncovered = -inf)."""
+        out = np.full(self.num_users, -np.inf)
+        emb = self.entity_embeddings[entity_id]
+        for sh in self._shards:
+            scores = sh.user_matrix @ emb
+            if self.direct_weight:
+                scores = scores + self.direct_weight * sh.interaction[:, entity_id]
+            out[sh.user_ids] = np.where(sh.covered, scores, -np.inf)
+        return out
+
+    def top_users_for_entity(self, entity_id: int, k: int) -> list[UserScore]:
+        return self.top_users_for_entity_sets([[int(entity_id)]], k)[0]
+
+    def top_users_for_entities(
+        self,
+        entity_ids: list[int],
+        k: int,
+        weights: np.ndarray | None = None,
+    ) -> list[UserScore]:
+        if not entity_ids:
+            raise ConfigError("need at least one entity to target users")
+        return self.top_users_for_entity_sets(
+            [list(entity_ids)], k, None if weights is None else [weights]
+        )[0]
+
+    def _score_shard(self, task):
+        """Score one shard against the precombined query and take its top-K."""
+        shard, q, combine_of, combine, k_eff = task
+        sh = self._shards[shard]
+        scores = sh.user_matrix @ q  # (users_s, sets)
+        if self.direct_weight:
+            # Direct-preference term via the shard's CSR interaction view:
+            # O(nnz) scattered adds instead of a dense (users_s, union)
+            # column gather — union-width work stays on the coordinator.
+            row_ptr, col_idx, values = sh.sparse_interaction()
+            in_union = combine_of[col_idx] >= 0
+            if in_union.any():
+                rows = np.repeat(
+                    np.arange(len(sh.user_ids)), np.diff(row_ptr)
+                )[in_union]
+                contrib = (
+                    values[in_union, None]
+                    * combine[combine_of[col_idx[in_union]], :]
+                )
+                direct = np.zeros_like(scores)
+                np.add.at(direct, rows, contrib)
+                scores = scores + self.direct_weight * direct
+        scores = np.where(sh.covered[:, None], scores, -np.inf)
+        k_local = min(k_eff, len(sh.user_ids))
+        out = []
+        for i in range(scores.shape[1]):
+            col = scores[:, i]
+            # Shard-local rows are sorted by global user id, so positional
+            # tie-breaks below ARE user-id tie-breaks — canonical order.
+            idx = _select_top_k(col, k_local)
+            out.append((sh.user_ids[idx], col[idx]))
+        return shard, out
+
+    def top_users_for_entity_sets(
+        self,
+        entity_sets: list[list[int]],
+        k: int,
+        weights: list | None = None,
+    ) -> list[list[UserScore]]:
+        """Scatter-gather targeting: per-shard top-K heaps, merged once.
+
+        Same contract as :meth:`PreferenceStore.top_users_for_entity_sets`;
+        rankings are identical (canonical order), scores agree to float
+        round-off.
+        """
+        if not entity_sets:
+            return []
+        if any(not ids for ids in entity_sets):
+            raise ConfigError("need at least one entity to target users")
+        if weights is not None and len(weights) != len(entity_sets):
+            raise ConfigError("weights must align with entity_sets")
+        profiler = current_profiler()
+        with profiler.phase("preference.top_users"):
+            with profiler.phase("combine"):
+                union_ids = _union_ids(entity_sets)
+                combine = _combine_matrix(entity_sets, weights, union_ids)
+                # Precombine: fold the combine matrix into the entity side
+                # once, so every shard scores with a (dim, sets) query.
+                q = self.entity_embeddings[union_ids].T @ combine
+                # entity id -> combine row (or -1): lets shards map their
+                # sparse interaction columns into the union without a
+                # per-shard dense gather.
+                combine_of = np.full(len(self.entity_embeddings), -1, dtype=np.int64)
+                combine_of[union_ids] = np.arange(len(union_ids))
+                k_eff = min(k, self._covered_count())
+                if k_eff < 1:
+                    return [[] for _ in entity_sets]
+            with profiler.phase("shard_scores"):
+                tasks = [
+                    (s, q, combine_of, combine, k_eff) for s in range(self.n_shards)
+                ]
+                if self._pool is not None and self._pool.size > 1:
+                    results = self._pool.map(self._score_shard, tasks)
+                else:
+                    results = []
+                    for task in tasks:
+                        with profiler.phase(f"shard{task[0]:02d}"):
+                            results.append(self._score_shard(task))
+            with profiler.phase("merge"):
+                for shard, out in results:
+                    self.shard_score_rows[shard] += sum(len(u) for u, _ in out)
+                merged: list[list[UserScore]] = []
+                for i in range(len(entity_sets)):
+                    uids = np.concatenate([out[i][0] for _, out in results])
+                    svals = np.concatenate([out[i][1] for _, out in results])
+                    finite = np.isfinite(svals)
+                    uids, svals = uids[finite], svals[finite]
+                    order = np.lexsort((uids, -svals))[:k_eff]
+                    merged.append(
+                        [UserScore(int(u), float(s)) for u, s in zip(uids[order], svals[order])]
+                    )
+                return merged
+
+    # ------------------------------------------------------------------
+    # Artifact serialization (sharded memmap sidecar)
+    # ------------------------------------------------------------------
+    def save_memmap(self, directory: str | Path) -> Path:
+        """Persist as a sharded memmap artifact directory.
+
+        Layout: ``entity_embeddings.npy`` at the root, one ``shard-NN/``
+        of raw ``.npy`` arrays per shard, and a checksummed root
+        ``meta.json`` written last as the commit point — a crash mid-write
+        leaves no readable (hence no servable) artifact.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        def _write(path: Path, array: np.ndarray) -> str:
+            buffer = io.BytesIO()
+            np.save(buffer, np.ascontiguousarray(array))
+            data = buffer.getvalue()
+            atomic_write_bytes(path, data)
+            return sha256_hex(data)
+
+        emb_checksum = _write(directory / "entity_embeddings.npy", self.entity_embeddings)
+        shard_checksums = []
+        for s, sh in enumerate(self._shards):
+            shard_dir = directory / f"shard-{s:02d}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            shard_checksums.append(
+                {
+                    name: _write(shard_dir / f"{name}.npy", getattr(sh, name))
+                    for name in _SHARD_ARRAYS
+                }
+            )
+        meta = {
+            "format": PREF_SHARDED_FORMAT,
+            "n_shards": self.n_shards,
+            "num_users": self.num_users,
+            "head_size": self.head_size,
+            "direct_weight": self.direct_weight,
+            "version_tag": self.version_tag,
+            "checksums": {
+                "entity_embeddings": emb_checksum,
+                "shards": shard_checksums,
+            },
+        }
+        atomic_write_text(
+            directory / "meta.json", json.dumps(meta, indent=2, sort_keys=True)
+        )
+        return directory
+
+    @classmethod
+    def load_memmap(
+        cls,
+        directory: str | Path,
+        mmap: bool = True,
+        verify: bool = False,
+        pool=None,
+    ) -> "ShardedPreferenceIndex":
+        """Open a sharded artifact; every shard must verify or none serves."""
+        directory = Path(directory)
+        meta_path = directory / "meta.json"
+        if not meta_path.exists():
+            raise StorageError(f"preference artifact missing: {meta_path}")
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise CorruptArtifactError(
+                f"preference artifact manifest unreadable: {meta_path}"
+            ) from error
+        if meta.get("format") != PREF_SHARDED_FORMAT:
+            raise CorruptArtifactError(
+                f"preference artifact {directory} has format "
+                f"{meta.get('format')!r}, expected {PREF_SHARDED_FORMAT!r}"
+            )
+
+        def _open(path: Path, recorded: str | None) -> np.ndarray:
+            if not path.exists():
+                raise CorruptArtifactError(f"preference artifact missing array {path}")
+            if verify and recorded is not None and file_digest(path) != recorded:
+                raise CorruptArtifactError(
+                    f"preference artifact checksum mismatch for {path}"
+                )
+            try:
+                array = np.load(path, mmap_mode="r" if mmap else None)
+            except (ValueError, OSError) as error:
+                raise CorruptArtifactError(
+                    f"preference artifact array unreadable: {path}"
+                ) from error
+            if mmap:
+                record_mmap_open("preferences")
+            return array
+
+        checksums = meta.get("checksums", {})
+        embeddings = _open(
+            directory / "entity_embeddings.npy", checksums.get("entity_embeddings")
+        )
+        try:
+            n_shards = int(meta["n_shards"])
+            shard_sums = checksums.get("shards", [{}] * n_shards)
+            shards = []
+            for s in range(n_shards):
+                shard_dir = directory / f"shard-{s:02d}"
+                arrays = {
+                    name: _open(shard_dir / f"{name}.npy", shard_sums[s].get(name))
+                    for name in _SHARD_ARRAYS
+                }
+                shards.append(_PreferenceShard(**arrays))
+            index = cls(
+                embeddings,
+                shards,
+                num_users=int(meta["num_users"]),
+                head_size=int(meta["head_size"]),
+                direct_weight=float(meta["direct_weight"]),
+                version_tag=meta["version_tag"],
+                pool=pool,
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise CorruptArtifactError(
+                f"preference artifact manifest malformed: {meta_path}"
+            ) from error
+        index.storage = "memmap-sharded"
+        return index
+
+    @classmethod
+    def validate_memmap(cls, directory: str | Path) -> bool:
+        """Full checksum proof of every shard of the artifact."""
+        cls.load_memmap(directory, mmap=True, verify=True)
+        return True
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard serving stats (CLI tables, health payloads, metrics)."""
+        return [
+            {
+                "shard": s,
+                "users": int(len(sh.user_ids)),
+                "covered": int(sh.covered.sum()),
+                "score_rows": int(self.shard_score_rows[s]),
+            }
+            for s, sh in enumerate(self._shards)
+        ]

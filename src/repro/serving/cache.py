@@ -7,6 +7,11 @@ that produced the value: a weekly hot-swap changes the active version, which
 makes every old entry unreachable — no explicit flush, no risk of serving a
 stale expansion for a new graph. Replaced versions are purged eagerly to
 bound memory; anything else ages out by LRU.
+
+The version token is any hashable value, not necessarily an int: the
+runtime keys sharded generations with ``(version, n_shards)`` tuples so a
+re-sharded world (same numeric version, different partitioning of the read
+path) can never collide with entries computed under another shard count.
 """
 
 from __future__ import annotations

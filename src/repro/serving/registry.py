@@ -51,8 +51,9 @@ from repro.errors import CorruptArtifactError, StorageError
 from repro.obs.drift import DriftReport
 from repro.graph.csr import CSRGraph, csr_meta_digest
 from repro.graph.entity_graph import EntityGraph
+from repro.graph.sharding import ShardedGraphStore, ShardWorkerPool
 from repro.graph.storage import GraphStore, SnapshotReader
-from repro.preference.store import PreferenceStore
+from repro.preference.store import PreferenceStore, ShardedPreferenceIndex
 from repro.resilience import (
     CheckpointStore,
     FaultInjector,
@@ -72,23 +73,27 @@ class ArtifactRecord:
     """One immutable published artifact: what it is and where it lives.
 
     ``format`` names the serving representation (``"csr"``, ``"memmap"``,
-    ``"snapshot"``, ``"npz"``, ``"memory"``). ``aux_path``/``aux_checksum``
-    point at an optional sidecar artifact — today the memmap preference
+    ``"snapshot"``, ``"npz"``, ``"memory"``, ``"csr-sharded"``,
+    ``"memmap-sharded"``). ``aux_path``/``aux_checksum`` point at an
+    optional sidecar artifact — the (possibly sharded) memmap preference
     directory published next to the legacy ``.npz``; both fields are
     absent on records written before the CSR substrate landed, which is
-    what keeps old manifests loadable.
+    what keeps old manifests loadable. ``shards`` records the generation's
+    shard count (``None`` ≡ 1 — unsharded records are byte-identical to
+    pre-sharding manifests).
     """
 
     kind: str
     version: int
     tag: str
-    source: str  # "store" | "file" | "memory" | "csr"
+    source: str  # "store" | "file" | "memory" | "csr" | "sharded_store"
     path: str | None = None
     edges: int | None = None
     checksum: str | None = None
     format: str | None = None
     aux_path: str | None = None
     aux_checksum: str | None = None
+    shards: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -102,6 +107,7 @@ class ArtifactRecord:
             "format": self.format,
             "aux_path": self.aux_path,
             "aux_checksum": self.aux_checksum,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -117,6 +123,7 @@ class ArtifactRecord:
             format=data.get("format"),
             aux_path=data.get("aux_path"),
             aux_checksum=data.get("aux_checksum"),
+            shards=data.get("shards"),
         )
 
 
@@ -183,7 +190,7 @@ class ArtifactRegistry:
         otherwise.
         """
         self._check_faults("registry.write")
-        if isinstance(graph, GraphStore):
+        if isinstance(graph, (GraphStore, ShardedGraphStore)):
             if self._graph_store is not None and self._graph_store is not graph:
                 raise StorageError("registry is already bound to a different GraphStore")
             self._graph_store = graph
@@ -194,15 +201,32 @@ class ArtifactRegistry:
             meta = {v["version"]: v for v in graph.versions()}
             if version not in meta:
                 raise StorageError(f"store has no committed version {version}")
-            record = ArtifactRecord(
-                kind=KIND_GRAPH,
-                version=version,
-                tag=tag or meta[version]["tag"],
-                source="store",
-                path=str(graph.path),
-                edges=meta[version]["edges"],
-                format=self._verified_store_format(graph, version),
-            )
+            if isinstance(graph, ShardedGraphStore):
+                # Verify-at-ingest for every shard: a generation with one
+                # bad shard must never be registered — the publish raises
+                # before _append, so latest() keeps resolving to the
+                # previous good generation (atomic rollback).
+                self._verify_sharded_generation(graph, version)
+                record = ArtifactRecord(
+                    kind=KIND_GRAPH,
+                    version=version,
+                    tag=tag or meta[version]["tag"],
+                    source="sharded_store",
+                    path=str(graph.path),
+                    edges=meta[version]["edges"],
+                    format="csr-sharded",
+                    shards=graph.n_shards,
+                )
+            else:
+                record = ArtifactRecord(
+                    kind=KIND_GRAPH,
+                    version=version,
+                    tag=tag or meta[version]["tag"],
+                    source="store",
+                    path=str(graph.path),
+                    edges=meta[version]["edges"],
+                    format=self._verified_store_format(graph, version),
+                )
         elif self.root is not None:
             version = self._next_version(KIND_GRAPH) if version is None else version
             directory = self.root / f"graph-csr-{version:06d}"
@@ -230,6 +254,36 @@ class ArtifactRegistry:
             self._memory[(KIND_GRAPH, version)] = graph
         return self._append(record)
 
+    def _verify_sharded_generation(
+        self, store: ShardedGraphStore, generation: int
+    ) -> None:
+        """Digest + array proof of every shard CSR of one generation.
+
+        Any failure quarantines the offending shard artifact and raises —
+        no record is appended, the generation is never servable.
+        """
+        entry = store._generation_entry(generation)
+        for spec in entry["shards"]:
+            directory = store.shard_store(spec["shard"]).csr_path(spec["version"])
+            try:
+                if (
+                    not (directory / "meta.json").exists()
+                    or csr_meta_digest(directory) != spec["checksum"]
+                ):
+                    raise CorruptArtifactError("shard manifest digest mismatch")
+                CSRGraph.validate(directory)
+            except (StorageError, TypeError) as error:
+                self._quarantine_dir(
+                    KIND_GRAPH,
+                    generation,
+                    directory,
+                    f"shard {spec['shard']} CSR invalid: {error}",
+                )
+                raise StorageError(
+                    f"sharded generation {generation} rejected: shard "
+                    f"{spec['shard']} failed validation: {error}"
+                ) from error
+
     def _verified_store_format(self, store: GraphStore, version: int) -> str:
         """``"csr"`` when the version's CSR artifact proves out, else
         ``"snapshot"`` (legacy versions, or a corrupt freeze that gets
@@ -247,16 +301,18 @@ class ArtifactRegistry:
         return "csr"
 
     def publish_preferences(
-        self, store: PreferenceStore, tag: str | None = None
+        self, store: PreferenceStore, tag: str | None = None, shards: int = 1
     ) -> ArtifactRecord:
         """Register a daily preference artifact (saved to disk if rooted).
 
         The ``.npz`` is written to a temp name and atomically renamed into
         place; its SHA-256 goes into the record, so every later open can
         prove it reads the published bytes. A memmap-able sidecar directory
-        (``preferences-mm-NNNNNN/``) is published alongside — the serving
-        runtime maps it zero-copy, and the ``.npz`` remains the fallback
-        should the sidecar be lost or corrupted.
+        is published alongside — ``preferences-mm-NNNNNN/`` (dense) or,
+        when ``shards > 1``, a hash-sharded ``preferences-sh-NNNNNN/``
+        holding one sub-directory per user shard. The serving runtime maps
+        the sidecar zero-copy; the ``.npz`` remains the fallback should
+        the sidecar be lost or corrupted.
         """
         self._check_faults("registry.write")
         version = self._next_version(KIND_PREFERENCES)
@@ -266,13 +322,21 @@ class ArtifactRegistry:
             final = self.root / f"preferences-{version:06d}.npz"
             tmp = store.save(self.root / f".tmp-preferences-{version:06d}.npz")
             os.replace(tmp, final)
-            mm_dir = store.save_memmap(self.root / f"preferences-mm-{version:06d}")
+            if shards > 1:
+                sidecar = ShardedPreferenceIndex.from_store(store, shards).save_memmap(
+                    self.root / f"preferences-sh-{version:06d}"
+                )
+                sidecar_format = "memmap-sharded"
+            else:
+                sidecar = store.save_memmap(self.root / f"preferences-mm-{version:06d}")
+                sidecar_format = "memmap"
             record = ArtifactRecord(
                 kind=KIND_PREFERENCES, version=version, tag=tag,
                 source="file", path=str(final), checksum=file_digest(final),
-                format="memmap",
-                aux_path=str(mm_dir),
-                aux_checksum=file_digest(mm_dir / "meta.json"),
+                format=sidecar_format,
+                aux_path=str(sidecar),
+                aux_checksum=file_digest(sidecar / "meta.json"),
+                shards=shards if shards > 1 else None,
             )
         else:
             record = ArtifactRecord(
@@ -285,22 +349,27 @@ class ArtifactRegistry:
     # ------------------------------------------------------------------
     # Open (serving side)
     # ------------------------------------------------------------------
-    def open_graph(self, version: int | None = None):
+    def open_graph(self, version: int | None = None, pool: ShardWorkerPool | None = None):
         """Open a published graph artifact, pinned to its version.
 
         Store records resolve to a pinned snapshot reader (memmap CSR
-        backed when available); ``csr`` records map the frozen artifact
+        backed when available); ``sharded_store`` records resolve to a
+        scatter-gather :class:`~repro.graph.sharding.ShardedSnapshotReader`
+        over that generation's shard artifacts (``pool`` supplies the
+        shard worker pool); ``csr`` records map the frozen artifact
         directory read-only — the checksums were proven at publish (or
         startup), so the open itself is O(1) in graph size.
         """
         self._check_faults("registry.read")
         record = self._resolve(KIND_GRAPH, version)
-        if record.source == "store":
+        if record.source in ("store", "sharded_store"):
             if self._graph_store is None:
                 raise StorageError(
                     "graph record references a GraphStore this process has "
                     "not bound; publish the store first"
                 )
+            if record.source == "sharded_store":
+                return self._graph_store.snapshot_reader(record.version, pool=pool)
             return self._graph_store.snapshot_reader(record.version)
         if record.source == "csr":
             try:
@@ -312,11 +381,15 @@ class ArtifactRegistry:
                 ) from error
         return self._memory[(KIND_GRAPH, record.version)]
 
-    def open_preferences(self, version: int | None = None) -> PreferenceStore:
+    def open_preferences(
+        self, version: int | None = None, pool: ShardWorkerPool | None = None
+    ):
         """Open a published preference artifact (loads from disk if rooted).
 
-        Rooted opens prefer the memmap sidecar (zero-copy generation swap);
-        a missing or corrupt sidecar is quarantined and the legacy ``.npz``
+        Rooted opens prefer the memmap sidecar (zero-copy generation
+        swap) — dense :class:`PreferenceStore` or, for ``shards > 1``
+        records, a scatter-gather :class:`ShardedPreferenceIndex`; a
+        missing or corrupt sidecar is quarantined and the legacy ``.npz``
         serves instead. A ``.npz`` whose bytes no longer match the
         published checksum is quarantined and its record dropped before
         :class:`~repro.errors.CorruptArtifactError` is raised — the next
@@ -327,6 +400,10 @@ class ArtifactRegistry:
         if record.source == "file":
             if record.aux_path is not None:
                 try:
+                    if record.format == "memmap-sharded":
+                        return ShardedPreferenceIndex.load_memmap(
+                            record.aux_path, pool=pool
+                        )
                     return PreferenceStore.load_memmap(record.aux_path)
                 except StorageError as error:
                     record = self._demote_preference_sidecar(record, str(error))
@@ -587,7 +664,10 @@ class ArtifactRegistry:
                                 != record.aux_checksum
                             ):
                                 raise CorruptArtifactError("manifest digest mismatch")
-                            PreferenceStore.validate_memmap(aux_dir)
+                            if record.format == "memmap-sharded":
+                                ShardedPreferenceIndex.validate_memmap(aux_dir)
+                            else:
+                                PreferenceStore.validate_memmap(aux_dir)
                         except (StorageError, TypeError) as error:
                             demote.append((record, str(error)))
                 self._records[kind].append(record)
@@ -599,6 +679,12 @@ class ArtifactRegistry:
     # ------------------------------------------------------------------
     # Catalogue
     # ------------------------------------------------------------------
+    @property
+    def graph_store(self):
+        """The bound (possibly sharded) graph store, if any — used by the
+        resource accountant to enumerate per-generation artifact paths."""
+        return self._graph_store
+
     def records(self, kind: str) -> list[ArtifactRecord]:
         return list(self._require_kind(kind))
 

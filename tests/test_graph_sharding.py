@@ -1,0 +1,231 @@
+"""Sharded graph substrate: partitioner, scatter-gather parity, atomic publish.
+
+The acceptance bar for the sharded substrate is *pointwise identity*: for
+any shard count, any seed set, and any expansion corner, the scatter-gather
+read path must return byte-for-byte the same expansion as the single-shard
+CSR kernel — sharding is a physical layout, never a semantic change. The
+second bar is generation atomicity: a crash anywhere between shard commits
+must leave the previous generation as the only visible one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.graph import (
+    CSRGraph,
+    GraphStore,
+    ShardedGraphStore,
+    ShardWorkerPool,
+    k_hop_expansion,
+    shard_of,
+)
+from repro.resilience import FaultInjector, InjectedCrash
+
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+def random_edges(num_nodes, num_edges, seed):
+    rng = np.random.default_rng(seed)
+    seen = set()
+    pairs = []
+    while len(pairs) < num_edges:
+        u, v = rng.integers(0, num_nodes, 2)
+        if u == v:
+            continue
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append(key)
+    weights = rng.random(num_edges) * 0.9 + 0.1
+    return np.asarray(pairs, dtype=np.int64), weights
+
+
+def make_sharded(tmp_path, pairs, weights, num_nodes, n_shards, name="s"):
+    store = ShardedGraphStore(
+        tmp_path / f"{name}{n_shards}", num_nodes=num_nodes, n_shards=n_shards
+    )
+    store.put_edges(pairs, weights)
+    gen = store.commit_version(tag="g1")
+    return store, gen
+
+
+class TestPartitioner:
+    def test_deterministic_and_in_range(self):
+        ids = np.arange(10_000)
+        for n in SHARD_COUNTS[1:]:
+            owners = shard_of(ids, n)
+            assert owners.min() >= 0 and owners.max() < n
+            assert np.array_equal(owners, shard_of(ids, n))
+            # splitmix64 spreads sequential ids close to evenly
+            counts = np.bincount(owners, minlength=n)
+            assert counts.min() > len(ids) / n * 0.8
+
+    def test_scalar_matches_array(self):
+        ids = np.arange(257)
+        owners = shard_of(ids, 8)
+        assert all(shard_of(int(i), 8) == owners[i] for i in ids)
+
+    def test_single_shard_is_zero(self):
+        assert np.array_equal(shard_of(np.arange(100), 1), np.zeros(100, dtype=np.int64))
+
+
+class TestWorkerPool:
+    def test_inline_and_threaded_agree(self):
+        items = list(range(16))
+        inline = ShardWorkerPool(1)
+        threaded = ShardWorkerPool(4)
+        try:
+            fn = lambda x: x * x
+            assert inline.map(fn, items) == threaded.map(fn, items)
+        finally:
+            inline.close()
+            threaded.close()
+
+
+class TestScatterGatherParity:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_expansion_pointwise_identical(self, tmp_path, n_shards, seed):
+        num_nodes = 120
+        pairs, weights = random_edges(num_nodes, 500, seed)
+        reference = CSRGraph.from_edges(num_nodes, pairs, weights)
+        store, gen = make_sharded(
+            tmp_path, pairs, weights, num_nodes, n_shards, name=f"seed{seed}-"
+        )
+        reader = store.snapshot_reader(gen)
+        seeds = [int(s) for s in np.random.default_rng(seed).integers(0, num_nodes, 3)]
+        for corner in (
+            {},
+            {"min_edge_weight": 0.5},
+            {"max_neighbors_per_node": 3},
+            {"max_nodes": 12},
+            {"min_edge_weight": 0.3, "max_neighbors_per_node": 5, "max_nodes": 20},
+        ):
+            want = k_hop_expansion(reference, seeds, 2, **corner)
+            got = k_hop_expansion(reader, seeds, 2, **corner)
+            assert want.scores == got.scores, corner
+            assert want.hops == got.hops, corner
+            assert want.parents == got.parents, corner
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_threaded_pool_identical_to_inline(self, tmp_path, n_shards):
+        num_nodes = 100
+        pairs, weights = random_edges(num_nodes, 400, 7)
+        store, gen = make_sharded(tmp_path, pairs, weights, num_nodes, n_shards)
+        pool = ShardWorkerPool(4)
+        try:
+            inline = store.snapshot_reader(gen)
+            threaded = store.snapshot_reader(gen, pool=pool)
+            want = k_hop_expansion(inline, [0, 5, 9], 2)
+            got = k_hop_expansion(threaded, [0, 5, 9], 2)
+            assert want.scores == got.scores
+        finally:
+            pool.close()
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_merged_graph_matches_unsharded_store(self, tmp_path, n_shards):
+        num_nodes = 90
+        pairs, weights = random_edges(num_nodes, 300, 3)
+        flat = GraphStore(tmp_path / "flat", num_nodes=num_nodes)
+        flat.put_edges(pairs, weights)
+        flat_reader = flat.snapshot_reader(flat.commit_version())
+        store, gen = make_sharded(tmp_path, pairs, weights, num_nodes, n_shards)
+        reader = store.snapshot_reader(gen)
+        want, got = flat_reader.graph(), reader.graph()
+        assert np.array_equal(
+            np.stack(want.canonical_pairs()), np.stack(got.canonical_pairs())
+        )
+        assert np.allclose(want.weight, got.weight)
+        assert reader.num_edges == flat_reader.num_edges
+        for node in (0, 13, 42):
+            wn, ww = flat_reader.neighbors(node)
+            gn, gw = reader.neighbors(node)
+            assert np.array_equal(wn, gn) and np.allclose(ww, gw)
+
+
+class TestGenerationAtomicity:
+    def test_crash_between_shard_commits_hides_generation(self, tmp_path):
+        num_nodes = 80
+        pairs, weights = random_edges(num_nodes, 250, 5)
+        faults = FaultInjector(seed=0)
+        store = ShardedGraphStore(
+            tmp_path / "atomic", num_nodes=num_nodes, n_shards=4, faults=faults
+        )
+        store.put_edges(pairs, weights)
+        gen1 = store.commit_version(tag="g1")
+        reader1 = store.snapshot_reader(gen1)
+        baseline = k_hop_expansion(reader1, [0, 1], 2).scores
+
+        pairs2, weights2 = random_edges(num_nodes, 250, 6)
+        store.put_edges(pairs2, weights2)
+        # seam call counters are global: gen1 already consumed 4 checks, so
+        # the third shard of *this* commit is call #7
+        faults.fail_at(
+            "shard.commit", faults.calls("shard.commit") + 3, exception=InjectedCrash
+        )
+        with pytest.raises(InjectedCrash):
+            store.commit_version(tag="g2")
+        # the manifest never saw the partial generation
+        assert store.latest_generation() == gen1
+        assert k_hop_expansion(store.snapshot_reader(), [0, 1], 2).scores == baseline
+        # the old reader keeps serving untouched
+        assert k_hop_expansion(reader1, [0, 1], 2).scores == baseline
+
+        faults.clear("shard.commit")
+        gen2 = store.commit_version(tag="g2")
+        assert gen2 == gen1 + 1
+        assert store.latest_generation() == gen2
+        # the retried generation serves the merged edge set
+        reader2 = store.snapshot_reader(gen2)
+        assert reader2.num_edges >= reader1.num_edges
+
+    def test_commit_generation_requires_every_shard(self, tmp_path):
+        pairs, weights = random_edges(60, 150, 1)
+        store = ShardedGraphStore(tmp_path / "partial", num_nodes=60, n_shards=4)
+        store.put_edges(pairs, weights)
+        results = [store.commit_shard(s, tag="g1") for s in range(3)]
+        with pytest.raises(StorageError):
+            store.commit_generation(results, tag="g1")
+        assert store.latest_generation() is None
+
+    def test_commit_generation_idempotent(self, tmp_path):
+        pairs, weights = random_edges(60, 150, 2)
+        store = ShardedGraphStore(tmp_path / "idem", num_nodes=60, n_shards=2)
+        store.put_edges(pairs, weights)
+        results = [store.commit_shard(s, tag="g1") for s in range(2)]
+        gen = store.commit_generation(results, tag="g1")
+        assert store.commit_generation(results, tag="g1") == gen
+        assert len(store.generations()) == 1
+
+    def test_shard_count_fixed_per_store(self, tmp_path):
+        ShardedGraphStore(tmp_path / "fixed", num_nodes=10, n_shards=4)
+        with pytest.raises(StorageError):
+            ShardedGraphStore(tmp_path / "fixed", num_nodes=10, n_shards=8)
+        # reopening without declaring the count adopts the manifest's
+        reopened = ShardedGraphStore(tmp_path / "fixed")
+        assert reopened.n_shards == 4
+
+    def test_missing_shard_artifact_refused_at_open(self, tmp_path):
+        import shutil
+
+        pairs, weights = random_edges(70, 200, 4)
+        store, gen = make_sharded(tmp_path, pairs, weights, 70, 4, name="gone")
+        entry = store._generation_entry(gen)
+        spec = entry["shards"][2]
+        shutil.rmtree(store.shard_store(2).csr_path(spec["version"]))
+        with pytest.raises(StorageError):
+            store.snapshot_reader(gen)
+
+    def test_validate_generation_detects_corruption(self, tmp_path):
+        pairs, weights = random_edges(70, 200, 8)
+        store, gen = make_sharded(tmp_path, pairs, weights, 70, 4, name="rot")
+        assert store.validate_generation(gen)
+        spec = store._generation_entry(gen)["shards"][1]
+        meta = store.shard_store(1).csr_path(spec["version"]) / "meta.json"
+        meta.write_text(meta.read_text() + " ")  # any byte flip breaks the digest
+        with pytest.raises(StorageError):
+            store.validate_generation(gen)

@@ -188,9 +188,11 @@ class TestResourceAccounting:
 
         accountant = ResourceAccountant(metrics=None, registry=_Registry())
         usage = accountant.usage()
-        assert usage["artifacts"]["graph"] == {"generations": 1, "disk_bytes": 100}
+        assert usage["artifacts"]["graph"] == {
+            "generations": 1, "disk_bytes": 100, "shards": 1,
+        }
         assert usage["artifacts"]["preferences"] == {
-            "generations": 0, "disk_bytes": 0,
+            "generations": 0, "disk_bytes": 0, "shards": 1,
         }
 
     def test_collector_exports_gauges_through_registry(self, tmp_path):

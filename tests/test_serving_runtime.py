@@ -62,9 +62,11 @@ class TestActivation:
             "graph_version": 1,
             "graph_tag": "week-0",
             "graph_format": "memory",
+            "graph_shards": 1,
             "preference_version": None,
             "preference_tag": None,
             "preference_format": None,
+            "preference_shards": 1,
         }
         runtime.activate_preferences(build_preferences(world), version=1, tag="daily-1")
         assert runtime.versions()["preference_version"] == 1
