@@ -19,7 +19,11 @@ Commands
     telemetry HTTP endpoint (``/metrics``, ``/health``, ``/drift``,
     ``/alerts``, ``/traces``) and prints its URL; ``--hold SECONDS`` keeps
     it up for scraping, ``--log-json`` streams structured JSON logs to
-    stdout.
+    stdout. With ``--frontend`` the bound endpoint is the concurrent
+    query front end instead: POST ``/expand``/``/target`` with admission
+    control (``--max-concurrency``, ``--max-queue``, ``--queue-timeout``),
+    structured 429/503 shed envelopes with ``Retry-After``, the GET
+    telemetry routes merged in, and a graceful drain on shutdown.
 ``metrics``
     Run a miniature offline + online workload and print the Prometheus
     text exposition — request counters, latency histograms, cache
@@ -117,6 +121,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shard-workers", type=int, default=None,
         help="shard worker pool size (default 1 = inline)",
+    )
+    serve.add_argument(
+        "--frontend", action="store_true",
+        help="bind the concurrent query front end (POST /expand, /target) "
+             "instead of the read-only telemetry endpoint",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="front-end execution tokens (requests running at once)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="front-end admission queue depth; beyond it requests shed 429",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=0.25,
+        help="max seconds a request may wait for an execution token",
     )
 
     metrics = sub.add_parser(
@@ -406,7 +427,38 @@ def cmd_serve(args) -> int:
         _print_shard_tables(system)
     _print_stage_breakdown(report.stage_seconds)
 
-    if args.port is not None:
+    if args.frontend:
+        from repro.serving.frontend import QueryFrontend
+
+        frontend = QueryFrontend(
+            service,
+            max_concurrency=args.max_concurrency,
+            max_queue=args.max_queue,
+            queue_timeout=args.queue_timeout,
+            port=args.port if args.port is not None else 0,
+        )
+        frontend.start()
+        try:
+            print(f"\nquery front end: {frontend.url}")
+            for endpoint in frontend.POST_ENDPOINTS:
+                print(f"  POST {frontend.url}/{endpoint}")
+            print(f"  GET  {frontend.url}/frontend  (admission + breaker stats)")
+            snap = frontend.admission.snapshot()
+            print(f"admission: {snap['max_concurrency']} tokens, "
+                  f"queue {snap['max_queue']} deep, "
+                  f"wait <= {snap['queue_timeout'] * 1000:.0f} ms, then shed 429")
+            if args.hold > 0:
+                print(f"holding for {args.hold:.0f}s (ctrl-c to stop early)...")
+                try:
+                    time.sleep(args.hold)
+                except KeyboardInterrupt:
+                    pass
+        finally:
+            drained = frontend.stop()
+            print(f"front end stopped (drained={drained}, "
+                  f"admitted={frontend.admission.admitted}, "
+                  f"shed={sum(frontend.admission.shed.values())})")
+    elif args.port is not None:
         from repro.obs import TelemetryServer
 
         server = TelemetryServer(

@@ -15,15 +15,22 @@ a hot path that answers in ~15µs (an f-string id costs ~0.5µs — a third
 of the whole observability budget — so ids stay ``int`` until render
 time).
 
-Hot-path discipline: the API facade keeps **one** ``RequestContext`` per
-service and re-stamps it per request (fresh id, cleared annotations)
-rather than allocating one; ``bind_context``/``unbind_context`` are the
-pre-bound ``ContextVar.set``/``reset`` methods. Everything layered on top
-(journey rendering, NDJSON) happens at read-out time, never per request.
+Hot-path discipline: the API facade pools **one** ``RequestContext`` per
+*serving thread* and re-stamps it per request (fresh correlation id,
+cleared deadline/hops/annotations slots), binding it via
+``bind_context``/``unbind_context``, the pre-bound
+``ContextVar.set``/``reset`` methods. A request runs start-to-finish on
+its thread, so per-thread pooling keeps every in-flight request's
+context private — the correctness requirement; the old one-per-*service*
+context let overlapping requests corrupt each other's correlation ids
+and deadlines — while costing four slot stores instead of an allocation.
+Everything layered on top (journey rendering, NDJSON) happens at
+read-out time, never per request.
 
 A :class:`JourneyLog` is the per-system ring of compact journey records —
-one flat tuple per finished request holding the envelope's scalars plus
-the span and expansion-view references, rendered to dicts lazily when
+one flat tuple per finished request holding the envelope's scalars, the
+span's endpoint/trace-id scalars, and the expansion-view reference,
+rendered to dicts lazily when
 ``/journeys`` or ``cli journeys`` asks. Records deliberately do **not**
 hold the response object: the ring would keep each request's payload
 dict tree alive for a full ring lap, and freeing ~30 dicts from cold
@@ -55,11 +62,12 @@ unbind_context = _AMBIENT.reset
 class RequestContext:
     """Identity and scratch state of one in-flight request.
 
-    One instance per service, re-stamped per request (see module
-    docstring). Fields:
+    One live instance per in-flight request — pooled per serving thread
+    and re-stamped at the API edge, then bound into the ambient
+    contextvar for the call's duration (see module docstring). Fields:
 
     ``correlation_id``
-        Integer id minted per request; ``0`` before the first request.
+        Integer id minted per request; ``0`` until the edge stamps it.
     ``tenant``
         The tenant slot (single-tenant today, a label tomorrow).
     ``deadline``
@@ -125,8 +133,11 @@ def annotate(**fields) -> None:
 
 
 #: API responses with these codes count as shed (rejected by admission
-#: machinery rather than failed while computing).
-_SHED_CODES = ("circuit_open", "deadline_exceeded")
+#: machinery rather than failed while computing). The first two originate
+#: in the runtime; the rest are front-end admission-control rejections.
+_SHED_CODES = (
+    "circuit_open", "deadline_exceeded", "queue_full", "queue_timeout", "draining",
+)
 
 
 class JourneyLog:
@@ -135,14 +146,18 @@ class JourneyLog:
     ``append`` (pre-bound to the deque's append) takes the raw tuple the
     API facade builds per request::
 
-        (correlation_id, span, ts, duration_ms, ok, code,
+        (correlation_id, endpoint, trace_id, ts, duration_ms, ok, code,
          graph_version, preference_version, view_or_None,
          annotations_or_None)
 
     Envelope fields ride as scalars so the ring never pins a response
-    payload (see module docstring); nothing is formatted until
-    :meth:`tail` / :meth:`to_ndjson` renders — journeys must cost
-    nanoseconds on the request path, not microseconds.
+    payload (see module docstring). The span rides as its ``endpoint``
+    and ``trace_id`` scalars rather than the span object itself: a
+    retained span would only be freed after *both* the trace ring and
+    this ring lap past it — a cache-cold deallocation hundreds of
+    requests later — and render only ever needed those two fields.
+    Nothing is formatted until :meth:`tail` / :meth:`to_ndjson` renders —
+    journeys must cost nanoseconds on the request path, not microseconds.
     """
 
     __slots__ = ("_ring", "tenant", "append")
@@ -161,14 +176,12 @@ class JourneyLog:
     # ------------------------------------------------------------------
     def _render(self, record: tuple) -> dict:
         (
-            correlation_id, span, ts, duration_ms, ok, code,
+            correlation_id, endpoint, trace_id, ts, duration_ms, ok, code,
             graph_version, preference_version, view, annotations,
         ) = record
-        name = span.name
-        endpoint = name[4:] if name.startswith("api.") else name
         journey = {
             "correlation_id": correlation_id,
-            "trace_id": span.trace_id,
+            "trace_id": trace_id,
             "endpoint": endpoint,
             "tenant": self.tenant,
             "ts": ts,

@@ -21,11 +21,26 @@ request): callers pre-bind series handles once and call ``observe`` /
 whose source already keeps its own counters (e.g. the expansion cache) are
 exported through *collectors* — callbacks run at read-out time that copy
 the source's totals into registry series, costing nothing per operation.
+
+Thread model: the serving front end drives this registry from a thread
+pool, so every series mutator must be lossless under concurrency — a
+bare ``+=`` is a read-modify-write that drops updates. Counters and
+histograms get there *without* a hot-path lock: each writer thread owns a
+private stripe (registered once under the series lock), so the
+read-modify-write never crosses threads, and read-outs merge the stripes
+under the lock. Totals are exact once writers quiesce; a scrape racing a
+writer may trail by the observation in flight, which is ordinary metric
+staleness, not corruption. Gauges (cold paths) take a per-series lock;
+series/family *creation* is serialized by one registry lock. Pre-bound
+handles stay the hot-path contract: the per-operation cost is one
+thread-local fetch plus a few plain stores, well under the
+observability-overhead gate.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Callable
 
@@ -69,48 +84,86 @@ def _format_value(value: float) -> str:
 
 
 class Counter:
-    """Monotonically increasing series (requests served, swaps performed)."""
+    """Monotonically increasing series (requests served, swaps performed).
 
-    __slots__ = ("_value",)
+    ``inc`` is lossless under concurrent callers without a lock: each
+    thread accumulates into its own cell (a one-element list registered
+    under the series lock the first time the thread writes), so the
+    ``+=`` read-modify-write never crosses threads. ``value`` sums the
+    cells — exact once writers quiesce, at most one in-flight increment
+    stale during a racing scrape.
+    """
+
+    __slots__ = ("_base", "_cells", "_local", "_lock")
 
     def __init__(self) -> None:
-        self._value = 0.0
+        self._base = 0.0
+        self._cells: list[list[float]] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ConfigError("counters only go up; use a gauge")
-        self._value += amount
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._local.cell = [0.0]
+            with self._lock:
+                self._cells.append(cell)
+        cell[0] += amount
 
     def set_total(self, value: float) -> None:
         """Overwrite the running total — for read-through collectors only,
-        where the authoritative count lives in the instrumented object."""
-        self._value = float(value)
+        where the authoritative count lives in the instrumented object and
+        the series is never ``inc``'d (mixing the two would race the
+        cell reset against a concurrent increment)."""
+        with self._lock:
+            self._base = float(value)
+            for cell in self._cells:
+                cell[0] = 0.0
 
     @property
     def value(self) -> float:
-        return self._value
+        return self._base + sum(cell[0] for cell in self._cells)
 
 
 class Gauge:
     """Point-in-time series (active artifact version, cache size)."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
         return self._value
+
+
+class _HistogramStripe:
+    """One thread's private accumulator inside a striped histogram."""
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
 
 
 class Histogram:
@@ -122,29 +175,45 @@ class Histogram:
     bucket. Percentiles interpolate linearly inside the chosen bucket and
     are clamped to the observed ``[min, max]``, so a single-sample
     distribution reports that sample at every quantile.
+
+    ``observe`` is lossless under concurrent callers without a lock: each
+    writer thread owns a private :class:`_HistogramStripe` and read-outs
+    merge the stripes under the series lock (same design as
+    :class:`Counter`). Exemplar slots are shared, but each write is one
+    atomic list-item store of an immutable tuple — latest writer wins,
+    and a reader can never see a torn ``(value, correlation_id)`` pair.
     """
 
-    __slots__ = ("_bounds", "_counts", "_exemplars", "count", "sum", "min", "max")
+    __slots__ = ("_bounds", "_stripes", "_local", "_exemplars", "_lock")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         if not bounds or list(bounds) != sorted(bounds):
             raise ConfigError("histogram buckets must be a non-empty ascending sequence")
         self._bounds = tuple(float(b) for b in bounds)
-        self._counts = [0] * (len(self._bounds) + 1)  # last = +Inf
+        self._stripes: list[_HistogramStripe] = []
+        self._local = threading.local()
         self._exemplars: list | None = None  # lazy: per-bucket latest exemplar
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    # -- write path ----------------------------------------------------
+    def _register_stripe(self) -> _HistogramStripe:
+        stripe = self._local.stripe = _HistogramStripe(len(self._bounds) + 1)
+        with self._lock:
+            self._stripes.append(stripe)
+        return stripe
 
     def observe(self, value: float) -> None:
-        self._counts[bisect_left(self._bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        try:
+            stripe = self._local.stripe
+        except AttributeError:
+            stripe = self._register_stripe()
+        stripe.counts[bisect_left(self._bounds, value)] += 1
+        stripe.count += 1
+        stripe.sum += value
+        if value < stripe.min:
+            stripe.min = value
+        if value > stripe.max:
+            stripe.max = value
 
     def observe_with_exemplar(
         self, value: float, correlation_id: int, trace_id: int | None = None
@@ -153,66 +222,111 @@ class Histogram:
 
         Keeps the latest ``(value, correlation_id, trace_id)`` per bucket
         — OpenMetrics exemplar semantics: a dashboard that sees the p99
-        bucket grow can jump straight to a trace that lives there. The
-        per-bucket slots are preallocated mutable lists written in place:
-        three item stores over plain ``observe``, no allocation, no
-        tuple churn — this rides the warm request path under the <10%
+        bucket grow can jump straight to a trace that lives there. One
+        tuple allocation and one atomic item store over plain
+        ``observe`` — this rides the warm request path under the
         obs-overhead gate.
         """
+        try:
+            stripe = self._local.stripe
+        except AttributeError:
+            stripe = self._register_stripe()
         index = bisect_left(self._bounds, value)
-        self._counts[index] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        stripe.counts[index] += 1
+        stripe.count += 1
+        stripe.sum += value
+        if value < stripe.min:
+            stripe.min = value
+        if value > stripe.max:
+            stripe.max = value
         exemplars = self._exemplars
         if exemplars is None:
-            exemplars = self._exemplars = [
-                [0.0, None, None] for _ in self._counts
-            ]
-        slot = exemplars[index]
-        slot[0] = value
-        slot[1] = correlation_id
-        slot[2] = trace_id
+            exemplars = self._ensure_exemplars()
+        exemplars[index] = (value, correlation_id, trace_id)
+
+    def _ensure_exemplars(self) -> list:
+        with self._lock:
+            if self._exemplars is None:
+                self._exemplars = [None] * (len(self._bounds) + 1)
+            return self._exemplars
+
+    # -- read path (merges stripes; exact once writers quiesce) --------
+    def _merged(self) -> _HistogramStripe:
+        total = _HistogramStripe(len(self._bounds) + 1)
+        counts = total.counts
+        with self._lock:
+            stripes = list(self._stripes)
+        for stripe in stripes:
+            for i, c in enumerate(stripe.counts):
+                counts[i] += c
+            total.count += stripe.count
+            total.sum += stripe.sum
+            if stripe.min < total.min:
+                total.min = stripe.min
+            if stripe.max > total.max:
+                total.max = stripe.max
+        return total
+
+    @property
+    def count(self) -> int:
+        return self._merged().count
+
+    @property
+    def sum(self) -> float:
+        return self._merged().sum
+
+    @property
+    def min(self) -> float:
+        return self._merged().min
+
+    @property
+    def max(self) -> float:
+        return self._merged().max
 
     def exemplars(self) -> list[tuple[float, tuple]]:
         """``(upper_bound, (value, correlation_id, trace_id))`` pairs for
         buckets that hold an exemplar; the last bound may be ``+Inf``."""
-        if self._exemplars is None:
+        exemplars = self._exemplars
+        if exemplars is None:
             return []
         bounds = self._bounds + (math.inf,)
         return [
-            (bounds[i], tuple(slot))
-            for i, slot in enumerate(self._exemplars)
-            if slot[1] is not None
+            (bounds[i], slot)
+            for i, slot in enumerate(list(exemplars))
+            if slot is not None
         ]
+
+    @staticmethod
+    def _percentile_of(
+        bounds: tuple[float, ...], m: _HistogramStripe, q: float
+    ) -> float | None:
+        if m.count == 0:
+            return None
+        target = q * m.count
+        cumulative = 0
+        lower = 0.0 if m.min >= 0 else m.min
+        for i, upper in enumerate(bounds):
+            bucket = m.counts[i]
+            if bucket and cumulative + bucket >= target:
+                estimate = lower + (upper - lower) * (target - cumulative) / bucket
+                return min(max(estimate, m.min), m.max)
+            cumulative += bucket
+            lower = upper
+        return m.max  # target falls in the +Inf bucket
 
     def percentile(self, q: float) -> float | None:
         """Estimated ``q``-quantile (``0 < q <= 1``); ``None`` when empty."""
-        if self.count == 0:
-            return None
-        target = q * self.count
-        cumulative = 0
-        lower = 0.0 if self.min >= 0 else self.min
-        for i, upper in enumerate(self._bounds):
-            bucket = self._counts[i]
-            if bucket and cumulative + bucket >= target:
-                estimate = lower + (upper - lower) * (target - cumulative) / bucket
-                return min(max(estimate, self.min), self.max)
-            cumulative += bucket
-            lower = upper
-        return self.max  # target falls in the +Inf bucket
+        return self._percentile_of(self._bounds, self._merged(), q)
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        m = self._merged()
         pairs = []
         cumulative = 0
-        for bound, count in zip(self._bounds, self._counts):
+        for bound, count in zip(self._bounds, m.counts):
             cumulative += count
             pairs.append((bound, cumulative))
-        pairs.append((math.inf, self.count))
+        pairs.append((math.inf, m.count))
         return pairs
 
     @staticmethod
@@ -227,12 +341,15 @@ class Histogram:
         if any(h._bounds != bounds for h in histograms):
             raise ConfigError("cannot merge histograms with different buckets")
         merged = Histogram(bounds)
+        target = merged._register_stripe()
         for h in histograms:
-            merged._counts = [a + b for a, b in zip(merged._counts, h._counts)]
-            merged.count += h.count
-            merged.sum += h.sum
-            merged.min = min(merged.min, h.min)
-            merged.max = max(merged.max, h.max)
+            m = h._merged()
+            for i, c in enumerate(m.counts):
+                target.counts[i] += c
+            target.count += m.count
+            target.sum += m.sum
+            target.min = min(target.min, m.min)
+            target.max = max(target.max, m.max)
         return merged
 
     def summary(self) -> dict:
@@ -241,15 +358,19 @@ class Histogram:
         An empty histogram reports only ``count``/``sum`` — percentiles of
         nothing are omitted rather than rendered as a misleading 0/NaN.
         """
-        if self.count == 0:
+        m = self._merged()
+        if m.count == 0:
             return {"count": 0, "sum": 0.0}
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.sum / self.count,
-            **{f"p{int(q * 100)}": self.percentile(q) for q in _PERCENTILES},
+            "count": m.count,
+            "sum": m.sum,
+            "min": m.min,
+            "max": m.max,
+            "mean": m.sum / m.count,
+            **{
+                f"p{int(q * 100)}": self._percentile_of(self._bounds, m, q)
+                for q in _PERCENTILES
+            },
         }
 
 
@@ -299,6 +420,11 @@ class MetricsRegistry:
         self.enabled = enabled
         self._families: dict[str, _Family] = {}
         self._collectors: list[Callable[[], None]] = []
+        # Serializes family/series *creation* only — two threads asking for
+        # the same (name, labels) must get the same object, or pre-bound
+        # handles diverge and one side's increments vanish from the
+        # exposition. Pre-bound hot paths never reach this lock.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Series access (pre-bind the result on hot paths)
@@ -317,28 +443,31 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         buckets = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
-        family = self._family(name, "histogram", help, buckets)
-        if family is None:
-            return _NOOP
-        if family.buckets != buckets:
-            raise ConfigError(f"histogram {name!r} already registered with other buckets")
-        key = _label_key(labels)
-        series = family.series.get(key)
-        if series is None:
-            series = family.series[key] = Histogram(buckets)
-        return series
+        with self._lock:
+            family = self._family(name, "histogram", help, buckets)
+            if family is None:
+                return _NOOP
+            if family.buckets != buckets:
+                raise ConfigError(f"histogram {name!r} already registered with other buckets")
+            key = _label_key(labels)
+            series = family.series.get(key)
+            if series is None:
+                series = family.series[key] = Histogram(buckets)
+            return series
 
     def _series(self, name, type_, help_, labels, factory):
-        family = self._family(name, type_, help_)
-        if family is None:
-            return _NOOP
-        key = _label_key(labels)
-        series = family.series.get(key)
-        if series is None:
-            series = family.series[key] = factory()
-        return series
+        with self._lock:
+            family = self._family(name, type_, help_)
+            if family is None:
+                return _NOOP
+            key = _label_key(labels)
+            series = family.series.get(key)
+            if series is None:
+                series = family.series[key] = factory()
+            return series
 
     def _family(self, name: str, type_: str, help_: str, buckets=None) -> _Family | None:
+        # Callers hold self._lock.
         if not self.enabled:
             return None
         family = self._families.get(name)

@@ -1,7 +1,7 @@
 """Perf-regression history: benchmark rows over time + a trailing-median gate.
 
 Every benchmark in this repo gates a single run against a fixed threshold
-(cache speedup ≥ 5×, obs overhead < 10%, …), which catches cliffs but not
+(cache speedup ≥ 5×, obs overhead under its gate, …), which catches cliffs but not
 slow drift. This module gives each metric a *trajectory*: benchmark runs
 append one JSON row per metric to ``benchmarks/results/history.jsonl``::
 

@@ -33,9 +33,19 @@ metric collectors — zero cost on any serving path.
 from __future__ import annotations
 
 import os
+import threading
 
 from repro.obs.clock import Clock
 from repro.obs.context import current_context
+
+
+class _PhaseStack(threading.local):
+    """Per-thread open-phase stack — concurrent requests time their own
+    phase nesting without interleaving paths (``__init__`` runs once per
+    thread on first access)."""
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []
 
 
 class _NoopPhase:
@@ -64,23 +74,27 @@ class _Phase:
 
     def __enter__(self) -> "_Phase":
         profiler = self._profiler
-        profiler._stack.append(self._name)
+        profiler._stacks.stack.append(self._name)
         self._start = profiler._perf()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         profiler = self._profiler
         elapsed = profiler._perf() - self._start
-        stack = profiler._stack
+        stack = profiler._stacks.stack
         path = tuple(stack)
         stack.pop()
-        totals = profiler._totals
-        entry = totals.get(path)
-        if entry is None:
-            totals[path] = [elapsed, 1]
-        else:
-            entry[0] += elapsed
-            entry[1] += 1
+        # The totals table is shared across threads: the in-place
+        # ``entry[0] += elapsed`` is a read-modify-write, so accumulate
+        # under the profiler's lock (uncontended ~100ns per phase exit).
+        with profiler._totals_lock:
+            totals = profiler._totals
+            entry = totals.get(path)
+            if entry is None:
+                totals[path] = [elapsed, 1]
+            else:
+                entry[0] += elapsed
+                entry[1] += 1
         return False
 
 
@@ -90,9 +104,10 @@ class PhaseProfiler:
     def __init__(self, clock: Clock | None = None, enabled: bool = True) -> None:
         self.enabled = enabled
         self._perf = (clock or Clock()).perf
-        self._stack: list[str] = []
-        #: path tuple → [total_seconds, count]
+        self._stacks = _PhaseStack()
+        #: path tuple → [total_seconds, count]; guarded by _totals_lock
         self._totals: dict[tuple[str, ...], list] = {}
+        self._totals_lock = threading.Lock()
 
     def phase(self, name: str):
         """Open a timed phase nested under the currently open one."""
@@ -101,7 +116,8 @@ class PhaseProfiler:
         return _Phase(self, name)
 
     def reset(self) -> None:
-        self._totals.clear()
+        with self._totals_lock:
+            self._totals.clear()
 
     # ------------------------------------------------------------------
     # Read-out
@@ -116,7 +132,8 @@ class PhaseProfiler:
         children (1.0 for leaves with no children would be meaningless,
         so leaf roots report ``None``).
         """
-        totals = dict(self._totals)  # read-out may race a serving thread
+        with self._totals_lock:  # read-out may race a serving thread
+            totals = {path: list(entry) for path, entry in self._totals.items()}
         rows = []
         roots: dict[str, dict] = {}
         for path in sorted(totals):
@@ -151,7 +168,8 @@ class PhaseProfiler:
 
     def collapsed(self) -> str:
         """Collapsed-stack export (``a;b;c <self-time-µs>`` per line)."""
-        totals = dict(self._totals)
+        with self._totals_lock:
+            totals = {path: list(entry) for path, entry in self._totals.items()}
         lines = []
         for path in sorted(totals):
             total = totals[path][0]

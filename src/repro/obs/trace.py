@@ -12,16 +12,48 @@ UUIDs: the tracer is per-process and per-:class:`~repro.obs.Observability`
 instance, deterministic ids make trace assertions in tests exact, and
 integer ids keep span creation off the allocation-heavy path (spans ride
 every API request).
+
+Thread model: span *nesting* is per-thread — each serving thread owns its
+own open-span stack (``threading.local``), so concurrent requests can
+never adopt each other's spans as parents or pop each other's frames. Ids
+are minted from ``itertools.count`` (atomic in CPython) and the finished
+ring is a ``deque`` (thread-safe appends); read-outs snapshot it with a
+short retry so a scrape racing a serving thread never raises.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 from collections import deque
 from pathlib import Path
 
 from repro.obs.clock import Clock
 from repro.obs.context import current_correlation_id
+
+
+class _SpanStack(threading.local):
+    """Per-thread open-span stack (``__init__`` runs once per thread)."""
+
+    def __init__(self) -> None:
+        self.stack: list["Span"] = []
+
+
+def _snapshot(ring: deque) -> list:
+    """Copy a deque that serving threads may be appending to.
+
+    ``list(deque)`` raises ``RuntimeError`` if the deque mutates during
+    iteration; scrapes share the process with request threads, so retry a
+    few times and fall back to an index walk (always safe, possibly a
+    request behind).
+    """
+    for _ in range(4):
+        try:
+            return list(ring)
+        except RuntimeError:
+            continue
+    return [ring[i] for i in range(len(ring))]
 
 
 class Span:
@@ -82,7 +114,7 @@ class Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         tracer = self._tracer
-        tracer._stack.pop()
+        tracer._stacks.stack.pop()
         if exc_type is not None:
             self.status = "error"
         self.duration_ms = (tracer._perf() - self._start_perf) * 1000
@@ -144,20 +176,21 @@ class Tracer:
         # together); for the real clock it ignores wall adjustments (NTP)
         # after tracer creation, which is fine for span timestamps.
         self._wall_offset = self._clock.time() - self._clock.perf()
-        self._stack: list[Span] = []
+        # Open spans nest per thread; ids are process-unique regardless of
+        # which thread minted them (itertools.count is atomic in CPython).
+        self._stacks = _SpanStack()
         self._finished: deque[Span] = deque(maxlen=capacity)
-        self._next_trace = 1
-        self._next_span = 1
+        self._next_trace = itertools.count(1).__next__
+        self._next_span = itertools.count(1).__next__
 
     def span(self, name: str, **tags):
         """Open a span; nests under the currently open span, if any."""
         if not self.enabled:
             return _NOOP_CONTEXT
-        stack = self._stack
+        stack = self._stacks.stack
         parent = stack[-1] if stack else None
         if parent is None:
-            trace_id = self._next_trace
-            self._next_trace += 1
+            trace_id = self._next_trace()
             correlation_id = current_correlation_id()
         else:
             trace_id = parent.trace_id
@@ -169,7 +202,7 @@ class Tracer:
         span._tracer = self
         span.name = name
         span.trace_id = trace_id
-        span.span_id = self._next_span
+        span.span_id = self._next_span()
         span.parent_id = parent.span_id if parent else None
         span.correlation_id = correlation_id
         span.duration_ms = 0.0
@@ -180,7 +213,6 @@ class Tracer:
         span.tags = tags or None
         span.status = "ok"
         span._start_perf = start_perf
-        self._next_span += 1
         stack.append(span)
         return span
 
@@ -196,11 +228,10 @@ class Tracer:
         """
         if not self.enabled:
             return _NOOP_CONTEXT
-        stack = self._stack
+        stack = self._stacks.stack
         parent = stack[-1] if stack else None
         if parent is None:
-            trace_id = self._next_trace
-            self._next_trace += 1
+            trace_id = self._next_trace()
         else:
             trace_id = parent.trace_id
             if correlation_id is None:
@@ -209,13 +240,12 @@ class Tracer:
         span._tracer = self
         span.name = name
         span.trace_id = trace_id
-        span.span_id = self._next_span
+        span.span_id = self._next_span()
         span.parent_id = parent.span_id if parent else None
         span.correlation_id = correlation_id
         span.tags = None
         span.status = "ok"
         span._start_perf = start_perf if start_perf is not None else self._perf()
-        self._next_span += 1
         stack.append(span)
         return span
 
@@ -229,13 +259,14 @@ class Tracer:
         always agree.
         """
         span.duration_ms = duration_ms
-        self._stack.pop()
+        self._stacks.stack.pop()
         self._finished.append(span)
 
     def current_span(self) -> Span | None:
-        """The innermost *open* span, if any — the correlation anchor the
-        structured logger stamps trace/span ids from."""
-        stack = self._stack
+        """The innermost *open* span of this thread, if any — the
+        correlation anchor the structured logger stamps trace/span ids
+        from."""
+        stack = self._stacks.stack
         return stack[-1] if stack else None
 
     # ------------------------------------------------------------------
@@ -243,17 +274,17 @@ class Tracer:
     # ------------------------------------------------------------------
     def finished(self) -> list[Span]:
         """Finished spans, oldest first (children precede their parents)."""
-        return list(self._finished)
+        return _snapshot(self._finished)
 
     def traces(self) -> dict[int, list[Span]]:
         """Finished spans grouped by trace id, in finish order."""
         grouped: dict[int, list[Span]] = {}
-        for span in self._finished:
+        for span in _snapshot(self._finished):
             grouped.setdefault(span.trace_id, []).append(span)
         return grouped
 
     def to_dicts(self) -> list[dict]:
-        return [span.to_dict() for span in self._finished]
+        return [span.to_dict() for span in _snapshot(self._finished)]
 
     def export_jsonl(self, path: str | Path) -> int:
         """Write one JSON object per finished span; returns the span count."""

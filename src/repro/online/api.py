@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from dataclasses import asdict, dataclass, field
 
 from repro.errors import (
@@ -40,6 +41,7 @@ from repro.obs import Observability
 from repro.obs.context import (
     RequestContext,
     bind_context,
+    current_context,
     next_correlation_id,
     unbind_context,
 )
@@ -165,14 +167,19 @@ class EGLService:
         # Per-endpoint metric handles, resolved once: registry lookups sort
         # labels and hash keys, which is too much for the warm request path.
         self._endpoint_obs: dict[str, tuple] = {}
-        # One reusable RequestContext, re-stamped per request; ``None``
-        # when observability is disabled — the hot path branches on it
-        # once instead of re-checking ``obs.enabled`` piecemeal.
-        if self.obs.enabled and self.obs.tracer.enabled:
-            self._ctx = RequestContext(tenant=tenant, profiler=self.obs.profiler)
+        # One RequestContext per *thread*, re-stamped per request. A
+        # request runs start-to-finish on its serving thread, so pooling
+        # per thread keeps contexts private to each in-flight request
+        # (the correctness requirement — a single shared context let
+        # overlapping requests corrupt each other's correlation ids and
+        # deadlines) without paying an allocation per call. The hot path
+        # branches on this flag once instead of re-checking
+        # ``obs.enabled`` piecemeal.
+        self._ctx_local = threading.local()
+        self._ctx_enabled = self.obs.enabled and self.obs.tracer.enabled
+        if self._ctx_enabled:
             self.obs.journeys.tenant = tenant
-        else:
-            self._ctx = None
+        self._profiler = self.obs.profiler
         self._span_fast = self.obs.tracer.span_fast
         self._span_close = self.obs.tracer.close_fast
         self._journey_append = self.obs.journeys.append
@@ -184,16 +191,28 @@ class EGLService:
             "api_request_seconds", help="End-to-end API request latency",
             endpoint=endpoint,
         )
+        ok_counter = metrics.counter(
+            "api_requests_total", help="API requests by endpoint and outcome",
+            endpoint=endpoint, status="ok",
+        )
+        error_counter = metrics.counter(
+            "api_requests_total", help="API requests by endpoint and outcome",
+            endpoint=endpoint, status="error",
+        )
+        if getattr(metrics, "enabled", False):
+            # The ok series is derived at read-out, not incremented per
+            # request: every request observes the latency histogram and
+            # errors increment their counter (observe *before* inc, so
+            # the difference is monotone at every instant), hence
+            # ok = observations - errors. One fewer hot-path mutation.
+            metrics.add_collector(
+                lambda h=histogram, e=error_counter, c=ok_counter: c.set_total(
+                    h.count - e.value
+                )
+            )
         bundle = (
             f"api.{endpoint}",
-            metrics.counter(
-                "api_requests_total", help="API requests by endpoint and outcome",
-                endpoint=endpoint, status="ok",
-            ).inc,
-            metrics.counter(
-                "api_requests_total", help="API requests by endpoint and outcome",
-                endpoint=endpoint, status="error",
-            ).inc,
+            error_counter.inc,
             histogram.observe,
             histogram.observe_with_exemplar,
         )
@@ -204,10 +223,9 @@ class EGLService:
         bundle = self._endpoint_obs.get(endpoint)
         if bundle is None:
             bundle = self._endpoint_bundle(endpoint)
-        span_name, inc_ok, inc_error, observe_latency, observe_exemplar = bundle
+        span_name, inc_error, observe_latency, observe_exemplar = bundle
         start = self._perf()
-        ctx = self._ctx
-        if ctx is None:  # observability disabled: plain envelope, no journey
+        if not self._ctx_enabled:  # observability disabled: plain envelope, no journey
             with self._span(span_name) as span:
                 try:
                     payload = fn()
@@ -219,15 +237,26 @@ class EGLService:
                     )
                 else:
                     response = self._envelope(start, ok=True, payload=payload)
-            (inc_ok if response.ok else inc_error)()
             observe_latency(response.elapsed_ms / 1000)
+            if not response.ok:
+                inc_error()
             return response
-        # Request-journey hot path: mint a correlation id, bind the
-        # ambient context, open the root span on the perf reading already
-        # taken for the envelope, and record one journey tuple. Rendering
-        # (dicts, JSON) is deferred to read-out; everything here is slot
-        # stores and pre-bound calls — the <10% obs-overhead gate leaves
-        # this path a budget of nanoseconds, not microseconds.
+        # Request-journey hot path: re-stamp this thread's pooled context
+        # with a fresh correlation id, bind the ambient context, open the
+        # root span on the perf reading already taken for the envelope,
+        # and record one journey tuple. Rendering (dicts, JSON) is
+        # deferred to read-out; everything here is slot stores and
+        # pre-bound calls — the obs-overhead gate leaves this path a
+        # budget of nanoseconds, not microseconds.
+        try:
+            ctx = self._ctx_local.ctx
+        except AttributeError:
+            ctx = self._ctx_local.ctx = RequestContext(
+                tenant=self.tenant, profiler=self._profiler
+            )
+        ctx.deadline = None
+        ctx.hops = None
+        ctx.annotations = None
         correlation_id = ctx.correlation_id = next_correlation_id()
         token = bind_context(ctx)
         span = self._span_fast(span_name, correlation_id, start)
@@ -251,21 +280,22 @@ class EGLService:
             raise
         unbind_context(token)
         self._span_close(span, response.elapsed_ms)
-        (inc_ok if response.ok else inc_error)()
+        trace_id = span.trace_id
         observe_exemplar(
-            response.elapsed_ms / 1000, correlation_id, span.trace_id
+            response.elapsed_ms / 1000, correlation_id, trace_id
         )
+        if not response.ok:
+            inc_error()
         annotations = ctx.annotations
-        if annotations is not None:
-            ctx.annotations = None
         # The record carries the envelope's *scalars*, never the response
-        # itself: retaining the payload dict tree in the ring would defer
-        # its deallocation 256 requests (one ring lap), turning a hot
+        # or the span: retaining either in the ring would defer its
+        # deallocation 256 requests (one ring lap), turning a hot
         # freelist free into a cache-cold one — measurably worse than the
         # six attribute loads this costs.
         self._journey_append((
             correlation_id,
-            span,
+            endpoint,
+            trace_id,
             response.timestamp,
             response.elapsed_ms,
             response.ok,
@@ -302,7 +332,7 @@ class EGLService:
         if timeout_ms is None:
             return None
         deadline = Deadline.after(timeout_ms / 1000, clock=self.obs.clock)
-        ctx = self._ctx
+        ctx = current_context()
         if ctx is not None:
             # Stamped with the correlation id so a leftover deadline from
             # an earlier request is never read as the current one.
@@ -312,7 +342,6 @@ class EGLService:
     # ------------------------------------------------------------------
     def expand(self, request: ExpandRequest) -> ApiResponse:
         """Phrase → k-hop subgraph, as plain dicts (Fig. 6 steps 1-2)."""
-        ctx = self._ctx
 
         def run() -> dict:
             _validate_expand(request)
@@ -322,6 +351,7 @@ class EGLService:
                 min_score=request.min_score,
                 deadline=self._deadline(request.timeout_ms),
             )
+            ctx = current_context()
             if ctx is not None:
                 # Journey scratch: per-hop frontier sizes render lazily
                 # from the served view at /journeys read-out time.

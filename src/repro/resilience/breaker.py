@@ -13,10 +13,20 @@ The classic three-state machine, driven entirely by the injectable clock:
 State transitions invoke ``on_transition(name, old, new)`` so the serving
 layer can flip its degraded gauge and count transitions without the
 breaker knowing about metrics.
+
+The state machine is thread-safe: concurrent callers hit
+``allow_request`` from the front end's pool, and the half-open
+check-then-increment must be atomic or N racing threads all pass as
+"the" trial probe — exactly the stampede half-open exists to prevent.
+One re-entrant lock guards every state read-modify-write (re-entrant
+because the ``state`` property's lazy open→half_open promotion runs
+inside other guarded methods). ``on_transition`` fires while the lock is
+held; callbacks must not call back into the breaker's mutators.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.errors import CircuitOpenError
@@ -45,6 +55,7 @@ class CircuitBreaker:
         self.half_open_max_calls = half_open_max_calls
         self.clock = clock or Clock()
         self.on_transition = on_transition
+        self._lock = threading.RLock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._half_open_inflight = 0
@@ -59,11 +70,12 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state; lazily promotes open → half_open on timeout."""
-        if self._state == OPEN and (
-            self.clock.time() - self._opened_at >= self.recovery_timeout
-        ):
-            self._transition(HALF_OPEN)
-        return self._state
+        with self._lock:
+            if self._state == OPEN and (
+                self.clock.time() - self._opened_at >= self.recovery_timeout
+            ):
+                self._transition(HALF_OPEN)
+            return self._state
 
     @property
     def is_open(self) -> bool:
@@ -86,15 +98,21 @@ class CircuitBreaker:
     # Call protocol
     # ------------------------------------------------------------------
     def allow_request(self) -> bool:
-        """True if a call may proceed now (closed, or a half-open trial)."""
-        state = self.state
-        if state == CLOSED:
-            return True
-        if state == HALF_OPEN and self._half_open_inflight < self.half_open_max_calls:
-            self._half_open_inflight += 1
-            return True
-        self._rejected += 1
-        return False
+        """True if a call may proceed now (closed, or a half-open trial).
+
+        The half-open check-and-claim is atomic: of N concurrent callers
+        racing the recovery probe, exactly ``half_open_max_calls`` pass;
+        the rest are rejected until an outcome is recorded.
+        """
+        with self._lock:
+            state = self.state
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and self._half_open_inflight < self.half_open_max_calls:
+                self._half_open_inflight += 1
+                return True
+            self._rejected += 1
+            return False
 
     def allow(self) -> None:
         """Like :meth:`allow_request`, raising when the call is rejected."""
@@ -105,20 +123,22 @@ class CircuitBreaker:
             )
 
     def record_success(self) -> None:
-        if self._state == HALF_OPEN:
-            self._transition(CLOSED)
-        else:
-            self._consecutive_failures = 0
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
 
     def record_failure(self, error: Exception | None = None) -> None:
-        if error is not None:
-            self._last_error = str(error)
-        if self._state == HALF_OPEN:
-            self._transition(OPEN)
-            return
-        self._consecutive_failures += 1
-        if self._state == CLOSED and self._consecutive_failures >= self.failure_threshold:
-            self._transition(OPEN)
+        with self._lock:
+            if error is not None:
+                self._last_error = str(error)
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED and self._consecutive_failures >= self.failure_threshold:
+                self._transition(OPEN)
 
     def call(self, fn: Callable[[], object]) -> object:
         """Guard one call: reject fast when open, record the outcome."""
@@ -133,18 +153,20 @@ class CircuitBreaker:
 
     def reset(self) -> None:
         """Force-close (operator override after a manual fix)."""
-        self._transition(CLOSED)
+        with self._lock:
+            self._transition(CLOSED)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """State for ``health()``: durable facts, not internals."""
-        state = self.state  # resolves a pending open → half_open promotion
-        return {
-            "name": self.name,
-            "state": state,
-            "consecutive_failures": self._consecutive_failures,
-            "trip_count": self._trip_count,
-            "rejected_calls": self._rejected,
-            "last_error": self._last_error,
-            "opened_at": self._opened_at if state != CLOSED else None,
-        }
+        with self._lock:
+            state = self.state  # resolves a pending open → half_open promotion
+            return {
+                "name": self.name,
+                "state": state,
+                "consecutive_failures": self._consecutive_failures,
+                "trip_count": self._trip_count,
+                "rejected_calls": self._rejected,
+                "last_error": self._last_error,
+                "opened_at": self._opened_at if state != CLOSED else None,
+            }

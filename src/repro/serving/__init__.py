@@ -8,6 +8,9 @@
     atomic hot-swaps on refresh.
 ``cache``
     Version-keyed read-through LRU for k-hop expansions.
+``frontend``
+    :class:`QueryFrontend` — thread-pooled HTTP query surface with
+    admission control, backpressure and graceful drain.
 """
 
 from repro.serving.cache import VersionedLRUCache
@@ -19,6 +22,20 @@ from repro.serving.registry import (
 )
 from repro.serving.runtime import ActiveArtifacts, ServingRuntime
 
+
+def __getattr__(name: str):
+    # The front end wraps the API facade (a layer *above* this package),
+    # so importing it eagerly here would be circular: online.system
+    # imports repro.serving while initializing. PEP 562 lazy export keeps
+    # ``from repro.serving import QueryFrontend`` working without the
+    # cycle.
+    if name in ("QueryFrontend", "AdmissionController"):
+        from repro.serving import frontend
+
+        return getattr(frontend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "VersionedLRUCache",
     "ArtifactRecord",
@@ -27,4 +44,6 @@ __all__ = [
     "KIND_PREFERENCES",
     "ActiveArtifacts",
     "ServingRuntime",
+    "AdmissionController",
+    "QueryFrontend",
 ]

@@ -12,11 +12,20 @@ The version token is any hashable value, not necessarily an int: the
 runtime keys sharded generations with ``(version, n_shards)`` tuples so a
 re-sharded world (same numeric version, different partitioning of the read
 path) can never collide with entries computed under another shard count.
+
+The cache is thread-safe: the concurrent front end drives ``get``/``put``
+from a thread pool, and ``OrderedDict.move_to_end`` + the eviction loop +
+the bytes accounting are multi-step read-modify-writes that corrupt the
+LRU order and the counters without mutual exclusion. One lock guards
+every mutator — uncontended acquisition costs ~100ns against a warm-hit
+path of a few µs, and the lock is held for dict operations only (never
+while computing an expansion).
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -85,6 +94,10 @@ class VersionedLRUCache:
         # Entry sizes live in a side table so ``get`` (the warm path)
         # returns stored values without unwrapping anything.
         self._sizes: dict[tuple[int, Hashable], int] = {}
+        # One lock around every mutator (see module docstring). The size
+        # estimation on ``put`` runs *outside* it — only the dict surgery
+        # is serialized.
+        self._lock = threading.Lock()
         self.approx_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -96,43 +109,47 @@ class VersionedLRUCache:
     # ------------------------------------------------------------------
     def get(self, version: int, key: Hashable, default: Any = None) -> Any:
         """Look up ``key`` under ``version``; counts a hit or a miss."""
-        value = self._entries.get((version, key), _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end((version, key))
-        return value
+        with self._lock:
+            value = self._entries.get((version, key), _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end((version, key))
+            return value
 
     def put(self, version: int, key: Hashable, value: Any) -> None:
         """Insert/refresh an entry, evicting the least-recently-used one."""
         if self.capacity == 0:
             return
         full_key = (version, key)
-        if full_key in self._entries:
-            self._entries.move_to_end(full_key)
-            self.approx_bytes -= self._sizes.get(full_key, 0)
-        self._entries[full_key] = value
-        entry_bytes = approx_value_bytes(value)
-        self._sizes[full_key] = entry_bytes
-        self.approx_bytes += entry_bytes
-        while len(self._entries) > self.capacity:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self.approx_bytes -= self._sizes.pop(evicted_key, 0)
-            self.evictions += 1
+        entry_bytes = approx_value_bytes(value)  # bounded walk, lock-free
+        with self._lock:
+            if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+                self.approx_bytes -= self._sizes.get(full_key, 0)
+            self._entries[full_key] = value
+            self._sizes[full_key] = entry_bytes
+            self.approx_bytes += entry_bytes
+            while len(self._entries) > self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self.approx_bytes -= self._sizes.pop(evicted_key, 0)
+                self.evictions += 1
 
     def purge_version(self, version: int) -> int:
         """Drop every entry produced under ``version`` (post-swap hygiene)."""
-        stale = [k for k in self._entries if k[0] == version]
-        for k in stale:
-            del self._entries[k]
-            self.approx_bytes -= self._sizes.pop(k, 0)
-        return len(stale)
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == version]
+            for k in stale:
+                del self._entries[k]
+                self.approx_bytes -= self._sizes.pop(k, 0)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._sizes.clear()
-        self.approx_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self.approx_bytes = 0
 
     def register_metrics(self, registry, prefix: str = "serving_expansion_cache") -> None:
         """Export this cache's counters through a metrics registry.
@@ -163,13 +180,14 @@ class VersionedLRUCache:
 
     def stats(self) -> dict:
         """Operational counters for health endpoints and benchmarks."""
-        total = self.hits + self.misses
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "approx_bytes": self.approx_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": (self.hits / total) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "approx_bytes": self.approx_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

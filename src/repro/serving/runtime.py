@@ -50,6 +50,7 @@ interval.
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass, replace
 
@@ -133,6 +134,14 @@ class ServingRuntime:
         self._clock = self.obs.clock
         self._perf = self._clock.perf  # bound once: called twice per request
         self._active = ActiveArtifacts()
+        # Serializes activations/rollbacks against each other: the swap is
+        # a read-modify-write of ``_active`` (build next value from
+        # previous, assign), and two concurrent activations would silently
+        # drop one artifact. The *read* path never takes this lock —
+        # ``acquire()`` stays a single atomic reference load, which is
+        # what makes hot-swap-under-load safe: every in-flight request
+        # serves wholly from the snapshot it acquired.
+        self._swap_lock = threading.Lock()
         self._cache = VersionedLRUCache(cache_size)
         self._cache.register_metrics(self.obs.metrics)
         self._swap_count = 0
@@ -328,6 +337,12 @@ class ServingRuntime:
         :class:`~repro.errors.CircuitOpenError` when the activation breaker
         is open. Either way the old generation keeps serving.
         """
+        with self._swap_lock:
+            self._activate_graph(reasoner, version, tag)
+
+    def _activate_graph(
+        self, reasoner: GraphReasoner, version: int, tag: str | None
+    ) -> None:
         start = self._perf()
         breaker = self.activation_breaker
         breaker.allow()
@@ -376,6 +391,12 @@ class ServingRuntime:
         :class:`~repro.errors.CircuitOpenError` when the activation breaker
         is open.
         """
+        with self._swap_lock:
+            self._activate_preferences(store, version, tag)
+
+    def _activate_preferences(
+        self, store: PreferenceStore, version: int, tag: str | None
+    ) -> None:
         start = self._perf()
         breaker = self.activation_breaker
         breaker.allow()
@@ -493,6 +514,10 @@ class ServingRuntime:
         :class:`~repro.errors.NotFittedError` when no previous generation
         of that kind exists.
         """
+        with self._swap_lock:
+            return self._rollback(kind)
+
+    def _rollback(self, kind: str) -> dict:
         start = self._perf()
         current = self._active
         if kind == "graph":

@@ -17,6 +17,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence, Union
 
@@ -26,24 +27,34 @@ from repro.errors import GradientError
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving read path wraps inference in
+# ``no_grad()`` on many threads at once, and a process-global flag would let
+# racing enter/exit pairs restore each other's saved state — permanently
+# disabling recording for every later training run in the process.
+_GRAD_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextmanager
 def no_grad() -> Iterator[None]:
-    """Context manager that disables graph recording inside the block."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph recording inside the block.
+
+    Affects only the calling thread; concurrent threads keep their own mode.
+    """
+    previous = _grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return _grad_enabled()
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -379,7 +390,7 @@ def _make(
     op: str,
 ) -> Tensor:
     """Create a result tensor, recording the graph only when needed."""
-    if _GRAD_ENABLED and any(p.requires_grad or p._parents for p in parents):
+    if _grad_enabled() and any(p.requires_grad or p._parents for p in parents):
         return Tensor(data, parents=parents, backward_fn=backward_fn, op=op)
     return Tensor(data)
 

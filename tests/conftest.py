@@ -6,6 +6,14 @@ are session-scoped: many test modules read them, none mutate them.
 
 from __future__ import annotations
 
+import os
+
+# Deterministic seeded tests want deterministic BLAS: on multi-core
+# runners OpenBLAS would thread large GEMMs, and its parallel summation
+# order can make seeded training results machine-dependent. Pin it before
+# numpy loads the BLAS; `setdefault` keeps an explicit override working.
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+
 import numpy as np
 import pytest
 

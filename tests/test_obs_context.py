@@ -16,12 +16,6 @@ from repro.obs.context import (
 )
 
 
-class _Span:
-    def __init__(self, name, trace_id=7):
-        self.name = name
-        self.trace_id = trace_id
-
-
 class _Response:
     def __init__(self, ok=True, code=None, elapsed_ms=1.5):
         self.ok = ok
@@ -88,14 +82,15 @@ class TestDeadlineStamping:
 
 
 class TestJourneyLog:
-    def _record(self, correlation_id=1, span=None, response=None, view=None,
-                annotations=None):
-        # Mirrors the API facade: envelope scalars ride in the record so
-        # the ring never retains the response object itself.
+    def _record(self, correlation_id=1, endpoint="expand", trace_id=7,
+                response=None, view=None, annotations=None):
+        # Mirrors the API facade: envelope and span scalars ride in the
+        # record so the ring retains neither the response nor the span.
         response = response or _Response()
         return (
             correlation_id,
-            span or _Span("api.expand"),
+            endpoint,
+            trace_id,
             response.timestamp,
             response.elapsed_ms,
             response.ok,
@@ -159,9 +154,9 @@ class TestJourneyLog:
         log.append(self._record(annotations={"degraded": "preference_read_open"}))
         assert log.tail()[0]["degraded"] is True
 
-    def test_non_api_span_name_passes_through_as_endpoint(self):
+    def test_endpoint_passes_through_verbatim(self):
         log = JourneyLog()
-        log.append(self._record(span=_Span("replay.expand")))
+        log.append(self._record(endpoint="replay.expand"))
         assert log.tail()[0]["endpoint"] == "replay.expand"
 
     def test_ring_is_bounded_and_tail_limits(self):

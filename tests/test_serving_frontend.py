@@ -1,0 +1,328 @@
+"""Front-end admission control: sheds, backpressure, drain, HTTP surface.
+
+``QueryFrontend.dispatch`` is exercised directly (the transport-free
+core) for admission/shed/breaker/deadline semantics; one end-to-end test
+drives the real ``ThreadingHTTPServer`` over a socket, covering status
+codes, ``Retry-After`` headers and the merged GET telemetry routes.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph import EntityGraph
+from repro.obs import Observability
+from repro.online import EGLSystem
+from repro.online.api import EGLService
+from repro.online.reasoning import GraphReasoner
+from repro.serving.frontend import AdmissionController, QueryFrontend, http_status
+
+
+@pytest.fixture()
+def service(world):
+    system = EGLSystem(world, obs=Observability())
+    graph = EntityGraph.from_edge_list(
+        world.num_entities, [(0, 1), (1, 2)], [0.9, 0.8], [0, 0]
+    )
+    reasoner = GraphReasoner(graph, system.pipeline.entity_dict)
+    system.runtime.activate_graph(reasoner, version=1, tag="week-0")
+    return EGLService(system)
+
+
+def _blocking_backend(service, release: threading.Event, entered: threading.Event):
+    """Replace ``system.expand`` with one that parks until released."""
+    real = service.system.expand
+
+    def blocked(phrases, depth=2, min_score=0.0, deadline=None):
+        entered.set()
+        release.wait(timeout=10.0)
+        return real(phrases, depth=depth, min_score=min_score, deadline=deadline)
+
+    service.system.expand = blocked
+    return real
+
+
+class TestAdmissionController:
+    def test_tokens_then_queue_then_shed(self):
+        admission = AdmissionController(max_concurrency=1, max_queue=1, queue_timeout=0.05)
+        assert admission.try_admit()[0] is True
+        # Queue is full once a second caller is waiting; a third sheds
+        # immediately rather than waiting behind it.
+        waiter_result = []
+
+        def waiter():
+            waiter_result.append(admission.try_admit(max_wait=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        for _ in range(100):  # wait until the waiter is queued
+            if admission.snapshot()["waiting"] == 1:
+                break
+            time.sleep(0.005)
+        admitted, reason, _ = admission.try_admit()
+        assert (admitted, reason) == (False, "queue_full")
+        admission.release()  # frees the token: the queued waiter claims it
+        t.join(timeout=5.0)
+        assert waiter_result[0][0] is True
+
+    def test_queue_timeout_sheds_after_bounded_wait(self):
+        admission = AdmissionController(max_concurrency=1, max_queue=4, queue_timeout=0.05)
+        assert admission.try_admit()[0] is True
+        admitted, reason, waited = admission.try_admit()
+        assert (admitted, reason) == (False, "queue_timeout")
+        assert waited >= 0.04  # actually waited the bounded window
+
+    def test_drain_wakes_queued_waiters_and_awaits_inflight(self):
+        admission = AdmissionController(max_concurrency=1, max_queue=4, queue_timeout=5.0)
+        assert admission.try_admit()[0] is True
+        results = []
+        t = threading.Thread(target=lambda: results.append(admission.try_admit()))
+        t.start()
+        for _ in range(100):
+            if admission.snapshot()["waiting"] == 1:
+                break
+            time.sleep(0.005)
+        admission.begin_drain()
+        t.join(timeout=5.0)  # waiter must wake immediately, not time out
+        assert results[0][:2] == (False, "draining")
+        assert admission.try_admit()[:2] == (False, "draining")
+        assert admission.await_idle(timeout=0.05) is False  # one still in flight
+        admission.release()
+        assert admission.await_idle(timeout=5.0) is True
+
+    def test_zero_wait_means_admit_or_shed(self):
+        admission = AdmissionController(max_concurrency=1, max_queue=8, queue_timeout=5.0)
+        assert admission.try_admit(max_wait=0.0)[0] is True
+        start = time.monotonic()
+        admitted, reason, _ = admission.try_admit(max_wait=0.0)
+        assert (admitted, reason) == (False, "queue_full")
+        assert time.monotonic() - start < 1.0  # no queueing happened
+
+
+class TestDispatch:
+    def test_expand_ok(self, service, world):
+        frontend = QueryFrontend(service, max_concurrency=2)
+        status, envelope = frontend.dispatch(
+            "expand", {"phrases": [world.entities[0].name], "depth": 2}
+        )
+        assert status == 200
+        assert envelope["ok"] is True
+        assert envelope["graph_version"] == 1
+        assert envelope["payload"]["entities"]
+
+    def test_unknown_endpoint_and_bad_fields_are_400(self, service):
+        frontend = QueryFrontend(service)
+        status, envelope = frontend.dispatch("nope", {})
+        assert status == 400 and envelope["code"] == "invalid_argument"
+        status, envelope = frontend.dispatch("expand", {"bogus_field": 1})
+        assert status == 400 and envelope["code"] == "invalid_argument"
+        status, envelope = frontend.dispatch("target_batch", {"requests": "nope"})
+        assert status == 400 and envelope["code"] == "invalid_argument"
+
+    def test_queue_full_sheds_429_with_retry_after(self, service, world):
+        release, entered = threading.Event(), threading.Event()
+        _blocking_backend(service, release, entered)
+        frontend = QueryFrontend(
+            service, max_concurrency=1, max_queue=0, queue_timeout=0.02
+        )
+        phrase = world.entities[0].name
+        blocker = threading.Thread(
+            target=frontend.dispatch, args=("expand", {"phrases": [phrase]})
+        )
+        blocker.start()
+        assert entered.wait(timeout=5.0)
+        try:
+            status, envelope = frontend.dispatch("expand", {"phrases": [phrase]})
+            assert status == 429
+            assert envelope["ok"] is False
+            assert envelope["code"] == "queue_full"
+            assert envelope["retry_after_ms"] >= 50
+        finally:
+            release.set()
+            blocker.join(timeout=10.0)
+        stats = frontend.stats()
+        assert stats["admission"]["shed"]["queue_full"] == 1
+
+    def test_queue_timeout_sheds_when_token_never_frees(self, service, world):
+        release, entered = threading.Event(), threading.Event()
+        _blocking_backend(service, release, entered)
+        frontend = QueryFrontend(
+            service, max_concurrency=1, max_queue=4, queue_timeout=0.05
+        )
+        phrase = world.entities[0].name
+        blocker = threading.Thread(
+            target=frontend.dispatch, args=("expand", {"phrases": [phrase]})
+        )
+        blocker.start()
+        assert entered.wait(timeout=5.0)
+        try:
+            status, envelope = frontend.dispatch("expand", {"phrases": [phrase]})
+            assert status == 429
+            assert envelope["code"] == "queue_timeout"
+        finally:
+            release.set()
+            blocker.join(timeout=10.0)
+
+    def test_draining_sheds_503(self, service, world):
+        frontend = QueryFrontend(service)
+        frontend.admission.begin_drain()
+        status, envelope = frontend.dispatch(
+            "expand", {"phrases": [world.entities[0].name]}
+        )
+        assert status == 503
+        assert envelope["code"] == "draining"
+        assert envelope["retry_after_ms"] == 1000.0
+
+    def test_deadline_spent_queueing_sheds_504(self, service, world):
+        release, entered = threading.Event(), threading.Event()
+        _blocking_backend(service, release, entered)
+        frontend = QueryFrontend(
+            service, max_concurrency=1, max_queue=4, queue_timeout=0.2
+        )
+        phrase = world.entities[0].name
+        blocker = threading.Thread(
+            target=frontend.dispatch, args=("expand", {"phrases": [phrase]})
+        )
+        blocker.start()
+        assert entered.wait(timeout=5.0)
+        try:
+            # 20ms budget < queue_timeout: the wait is clipped to the
+            # budget, which expires while queued → shed as 504, and the
+            # runtime is never touched.
+            status, envelope = frontend.dispatch(
+                "expand", {"phrases": [phrase], "timeout_ms": 20.0}
+            )
+            assert status in (429, 504)
+            assert envelope["code"] in ("queue_timeout", "deadline_exceeded")
+        finally:
+            release.set()
+            blocker.join(timeout=10.0)
+
+    def test_backend_faults_trip_frontend_breaker(self, service, world):
+        frontend = QueryFrontend(service)
+        frontend.breaker.failure_threshold = 2
+
+        def broken(phrases, **kwargs):
+            raise StorageError("disk on fire")
+
+        service.system.expand = broken
+        phrase = world.entities[0].name
+        for _ in range(2):
+            status, envelope = frontend.dispatch("expand", {"phrases": [phrase]})
+            assert status == 500
+            assert envelope["code"] == "storage_error"
+        # Breaker tripped: next request is rejected before admission.
+        status, envelope = frontend.dispatch("expand", {"phrases": [phrase]})
+        assert status == 503
+        assert envelope["code"] == "circuit_open"
+        assert "retry_after_ms" in envelope
+        assert frontend.stats()["breaker"]["state"] == "open"
+
+    def test_caller_errors_do_not_trip_breaker(self, service):
+        frontend = QueryFrontend(service)
+        frontend.breaker.failure_threshold = 1
+        for _ in range(3):
+            status, _ = frontend.dispatch("expand", {"phrases": [], "depth": -1})
+            assert status == 400
+        assert frontend.stats()["breaker"]["state"] == "closed"
+
+    def test_shed_metrics_are_exported(self, service, world):
+        frontend = QueryFrontend(service)
+        frontend.admission.begin_drain()
+        frontend.dispatch("expand", {"phrases": [world.entities[0].name]})
+        metrics = service.obs.metrics
+        assert metrics.get_value("frontend_shed_total", reason="draining") == 1.0
+        assert metrics.get_value(
+            "frontend_requests_total", endpoint="expand", outcome="shed"
+        ) == 1.0
+        assert metrics.get_value("frontend_draining") == 1.0
+
+
+class TestHTTPSurface:
+    def test_end_to_end_over_sockets(self, service, world):
+        frontend = QueryFrontend(service, max_concurrency=4)
+        phrase = world.entities[0].name
+        with frontend:
+            base = frontend.url
+            body = json.dumps({"phrases": [phrase], "depth": 2}).encode()
+            request = urllib.request.Request(
+                f"{base}/expand", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                assert response.status == 200
+                envelope = json.loads(response.read())
+            assert envelope["ok"] is True and envelope["payload"]["entities"]
+
+            # Malformed JSON → 400 envelope, not a stack trace.
+            bad = urllib.request.Request(
+                f"{base}/expand", data=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(bad, timeout=10.0)
+            assert excinfo.value.code == 400
+
+            # Merged GET surface: frontend stats + service telemetry.
+            with urllib.request.urlopen(f"{base}/frontend", timeout=10.0) as response:
+                stats = json.loads(response.read())
+            assert stats["admission"]["max_concurrency"] == 4
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10.0) as response:
+                exposition = response.read().decode()
+            assert "frontend_requests_total" in exposition
+
+            # Draining: shed with Retry-After header.
+            frontend.admission.begin_drain()
+            shed = urllib.request.Request(
+                f"{base}/expand", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(shed, timeout=10.0)
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+        assert frontend._httpd is None  # stop() tore the listener down
+
+    def test_stop_drains_inflight_requests(self, service, world):
+        release, entered = threading.Event(), threading.Event()
+        _blocking_backend(service, release, entered)
+        frontend = QueryFrontend(service, max_concurrency=2)
+        phrase = world.entities[0].name
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(
+                frontend.dispatch("expand", {"phrases": [phrase]})
+            )
+        )
+        worker.start()
+        assert entered.wait(timeout=5.0)
+        releaser = threading.Timer(0.1, release.set)
+        releaser.start()
+        try:
+            drained = frontend.stop(drain_timeout=10.0)
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+            releaser.cancel()
+        assert drained is True
+        # The in-flight request finished normally despite the drain.
+        assert results and results[0][0] == 200
+
+
+class TestStatusMapping:
+    def test_http_status_table(self):
+        assert http_status(None) == 200
+        assert http_status("invalid_argument") == 400
+        assert http_status("queue_full") == 429
+        assert http_status("queue_timeout") == 429
+        assert http_status("draining") == 503
+        assert http_status("circuit_open") == 503
+        assert http_status("not_ready") == 503
+        assert http_status("deadline_exceeded") == 504
+        assert http_status("internal") == 500
+        assert http_status("storage_error") == 500
